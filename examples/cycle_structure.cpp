@@ -1,0 +1,84 @@
+// Explorer for the paper's parallelization argument (Section 1):
+// traditional cycle-following transposition is "difficult to parallelize
+// due to poorly distributed cycle lengths".  This example prints the
+// cycle-length distribution of the transpose permutation for a few
+// shapes, and contrasts it with the decomposition's perfectly regular
+// unit of work (rows and column groups).
+//
+//   $ ./examples/cycle_structure [m] [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/cycle_follow.hpp"
+#include "baselines/sung_tiled.hpp"
+
+namespace {
+
+void describe(std::uint64_t m, std::uint64_t n) {
+  const auto lengths =
+      inplace::baselines::transpose_cycle_lengths(m, n);
+  if (lengths.empty()) {
+    std::printf("%llux%llu: trivial permutation\n",
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(n));
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto len : lengths) {
+    total += len;
+  }
+  std::printf("%5llu x %-5llu  cycles: %6zu   shortest: %6llu   longest: "
+              "%8llu   longest/mean: %6.1fx\n",
+              static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(n), lengths.size(),
+              static_cast<unsigned long long>(lengths.front()),
+              static_cast<unsigned long long>(lengths.back()),
+              double(lengths.back()) * double(lengths.size()) /
+                  double(total));
+  // A parallel cycle follower assigns whole cycles to workers: its best
+  // possible balance is bounded by the longest cycle.
+  const double best_speedup = double(total) / double(lengths.back());
+  std::printf("              -> cycle-parallel speedup bounded by %.1fx "
+              "regardless of worker count\n",
+              best_speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cycle structure of the transpose permutation "
+              "l -> l*m mod (mn-1)\n");
+  std::printf("(the decomposition replaces this with m independent rows "
+              "and n/width independent column groups)\n\n");
+  if (argc == 3) {
+    describe(std::strtoull(argv[1], nullptr, 10),
+             std::strtoull(argv[2], nullptr, 10));
+    return 0;
+  }
+  for (auto [m, n] :
+       {std::pair<std::uint64_t, std::uint64_t>{4, 8},
+        {30, 42},
+        {97, 89},
+        {128, 96},
+        {343, 512},
+        {1000, 999},
+        {720, 480}}) {
+    describe(m, n);
+  }
+
+  std::printf("\nTile heuristic view (Sung-like baseline, t = 72):\n");
+  for (auto [m, n] : {std::pair<std::uint64_t, std::uint64_t>{7200, 1800},
+                      {7919, 7907},
+                      {1024, 768},
+                      {1000, 999}}) {
+    const auto t = inplace::baselines::choose_tiles(m, n);
+    std::printf("  %5llu x %-5llu -> tiles %llu x %llu (%s)\n",
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(t.tile_rows),
+                static_cast<unsigned long long>(t.tile_cols),
+                t.well_tiled ? "well tiled" : "degenerate");
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "baselines/cycle_follow.hpp"
+
+#include <algorithm>
+
+namespace inplace::baselines {
+
+std::vector<std::uint64_t> transpose_cycle_lengths(std::uint64_t m,
+                                                   std::uint64_t n) {
+  std::vector<std::uint64_t> lengths;
+  const std::uint64_t total = m * n;
+  if (total < 2) {
+    return lengths;
+  }
+  const std::uint64_t wrap = total - 1;
+  std::vector<std::uint8_t> visited(total, 0);
+  for (std::uint64_t y = 1; y < wrap; ++y) {
+    if (visited[y]) {
+      continue;
+    }
+    std::uint64_t len = 0;
+    std::uint64_t l = y;
+    do {
+      visited[l] = 1;
+      ++len;
+      l = l * n % wrap;
+    } while (l != y);
+    lengths.push_back(len);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+}  // namespace inplace::baselines

@@ -1,0 +1,27 @@
+#include "baselines/gustavson_like.hpp"
+
+namespace inplace::baselines {
+
+std::uint64_t largest_divisor_le(std::uint64_t x, std::uint64_t cap) {
+  std::uint64_t best = 1;
+  for (std::uint64_t d = 2; d <= cap && d <= x; ++d) {
+    if (x % d == 0) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+std::uint64_t square_block_edge(std::uint64_t m, std::uint64_t n,
+                                std::uint64_t cap) {
+  const std::uint64_t g = std::gcd(m, n);
+  std::uint64_t best = 1;
+  for (std::uint64_t d = 1; d <= cap; ++d) {
+    if (g % d == 0) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace inplace::baselines

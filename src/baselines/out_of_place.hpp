@@ -1,0 +1,45 @@
+#pragma once
+// Blocked out-of-place transpose: the throughput ceiling every in-place
+// algorithm is measured against (it reads and writes each element exactly
+// once, at the cost of O(mn) auxiliary space).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/errors.hpp"
+
+namespace inplace::baselines {
+
+/// Out-of-place blocked transpose of a row-major m x n array into dst
+/// (row-major n x m).  Block edge sized for L1-resident square blocks.
+template <typename T>
+void blocked_transpose_into(const T* src, T* dst, std::uint64_t m,
+                            std::uint64_t n, std::uint64_t block = 64) {
+  for (std::uint64_t i0 = 0; i0 < m; i0 += block) {
+    const std::uint64_t i1 = std::min(i0 + block, m);
+    for (std::uint64_t j0 = 0; j0 < n; j0 += block) {
+      const std::uint64_t j1 = std::min(j0 + block, n);
+      for (std::uint64_t i = i0; i < i1; ++i) {
+        for (std::uint64_t j = j0; j < j1; ++j) {
+          dst[j * m + i] = src[i * n + j];
+        }
+      }
+    }
+  }
+}
+
+/// "In-place" transpose through a full-size temporary: the O(mn)-space
+/// reference point for Figure 3/6 comparisons.
+template <typename T>
+void out_of_place_transpose(T* a, std::uint64_t m, std::uint64_t n,
+                            std::uint64_t block = 64) {
+  inplace::detail::checked_extent(a, m, n);
+  if (m <= 1 || n <= 1) {
+    return;
+  }
+  std::vector<T> tmp(static_cast<std::size_t>(m) * n);
+  blocked_transpose_into(a, tmp.data(), m, n, block);
+  std::copy(tmp.begin(), tmp.end(), a);
+}
+
+}  // namespace inplace::baselines

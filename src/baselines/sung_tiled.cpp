@@ -1,0 +1,59 @@
+#include "baselines/sung_tiled.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace inplace::baselines {
+
+namespace {
+
+std::vector<std::uint64_t> sorted_prime_factors(std::uint64_t x) {
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= x; p += (p == 2 ? 1 : 2)) {
+    while (x % p == 0) {
+      factors.push_back(p);
+      x /= p;
+    }
+  }
+  if (x > 1) {
+    factors.push_back(x);
+  }
+  std::sort(factors.begin(), factors.end());
+  return factors;
+}
+
+std::uint64_t factor_product_tile(std::uint64_t dim,
+                                  std::uint64_t threshold) {
+  // "Sort the factors of the array dimension, then starting with the
+  // smallest factors, multiply them until the tile dimension equals or
+  // exceeds some threshold t" (Section 5.2).
+  std::uint64_t tile = 1;
+  for (const std::uint64_t p : sorted_prime_factors(dim)) {
+    if (tile >= threshold) {
+      break;
+    }
+    tile *= p;
+  }
+  return tile;
+}
+
+}  // namespace
+
+tile_choice choose_tiles(std::uint64_t m, std::uint64_t n,
+                         std::uint64_t threshold) {
+  tile_choice out;
+  if (m == 0 || n == 0) {
+    return out;
+  }
+  out.tile_rows = factor_product_tile(m, threshold);
+  out.tile_cols = factor_product_tile(n, threshold);
+  const auto degenerate = [&](std::uint64_t tile, std::uint64_t dim) {
+    return tile <= 1 || (tile > 8 * threshold && tile == dim) ||
+           tile > 64 * threshold;
+  };
+  out.well_tiled = !degenerate(out.tile_rows, m) &&
+                   !degenerate(out.tile_cols, n);
+  return out;
+}
+
+}  // namespace inplace::baselines

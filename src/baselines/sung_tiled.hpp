@@ -1,0 +1,40 @@
+#pragma once
+// Sung-like tiled in-place transposition (the paper's GPU comparison,
+// Sung [6]).  Tile extents must evenly divide the array extents; they are
+// chosen with the heuristic the paper used to benchmark Sung's code:
+// sort each dimension's prime factors and multiply from the smallest
+// until the tile extent reaches the threshold t = 72.  Dimensions with
+// few small factors produce degenerate tiles, which is exactly the
+// behaviour behind Sung's poor-dimension tail in Figure 6.
+
+#include <cstdint>
+
+#include "baselines/tiled_core.hpp"
+
+namespace inplace::baselines {
+
+/// Result of the factor-product tile heuristic.
+struct tile_choice {
+  std::uint64_t tile_rows = 1;
+  std::uint64_t tile_cols = 1;
+  /// False when either tile extent degenerated (1, or more than 8x the
+  /// threshold) — the shapes on which tiled algorithms collapse.
+  bool well_tiled = false;
+};
+
+/// The paper's Section 5.2 heuristic with threshold t (default 72).
+tile_choice choose_tiles(std::uint64_t m, std::uint64_t n,
+                         std::uint64_t threshold = 72);
+
+/// In-place transpose of a row-major m x n array using Sung-style tiling.
+/// Returns the tile choice actually used (degenerate tiles still produce a
+/// correct transpose, just slowly).
+template <typename T>
+tile_choice sung_tiled_transpose(T* a, std::uint64_t m, std::uint64_t n,
+                                 std::uint64_t threshold = 72) {
+  const tile_choice tiles = choose_tiles(m, n, threshold);
+  detail::tiled_transpose(a, m, n, tiles.tile_rows, tiles.tile_cols);
+  return tiles;
+}
+
+}  // namespace inplace::baselines

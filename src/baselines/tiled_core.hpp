@@ -1,0 +1,168 @@
+#pragma once
+// Shared machinery for the tiled in-place transposition baselines
+// (Sung-like and Gustavson-like).  A row-major m x n array with tile
+// extents Tr | m and Tc | n transposes in three stages:
+//
+//   1. per band of Tr rows: permute Tc-wide chunks so every Tr x Tc tile
+//      becomes contiguous (a chunk-granularity Tr x Q transpose),
+//   2. transpose the P x Q grid of now-contiguous tiles by cycle
+//      following on fixed tile slots, transposing each tile as it moves,
+//   3. per band of Tc rows of the transposed array: the inverse chunk
+//      permutation, restoring plain row-major layout.
+//
+// Stages 1 and 3 parallelize over bands with OpenMP.  Auxiliary space is
+// one tile plus visited bitmaps (up to one bit per tile/chunk — the O(mn)
+// worst-case bit requirement the paper notes for Sung's algorithm).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/errors.hpp"
+
+#if defined(INPLACE_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace inplace::baselines::detail {
+
+/// In-place transpose of a rows x cols matrix of contiguous fixed-size
+/// chunks: chunk (r, q) moves to slot q*rows + r.  Gather cycle following
+/// over rows*cols chunk slots.
+template <typename T>
+void transpose_chunk_grid(T* base, std::uint64_t rows, std::uint64_t cols,
+                          std::uint64_t chunk, std::vector<std::uint8_t>& bits,
+                          std::vector<T>& tmp) {
+  const std::uint64_t slots = rows * cols;
+  std::fill(bits.begin(), bits.begin() + slots, std::uint8_t{0});
+  for (std::uint64_t y = 0; y < slots; ++y) {
+    if (bits[y]) {
+      continue;
+    }
+    // Gather permutation: slot w receives the chunk from slot
+    // src(w) = (w mod rows) * cols + (w / rows).
+    const std::uint64_t first_src = (y % rows) * cols + y / rows;
+    bits[y] = 1;
+    if (first_src == y) {
+      continue;
+    }
+    std::copy(base + y * chunk, base + (y + 1) * chunk, tmp.begin());
+    std::uint64_t w = y;
+    for (;;) {
+      const std::uint64_t s = (w % rows) * cols + w / rows;
+      bits[w] = 1;
+      if (s == y) {
+        std::copy(tmp.begin(), tmp.begin() + chunk, base + w * chunk);
+        break;
+      }
+      std::copy(base + s * chunk, base + (s + 1) * chunk, base + w * chunk);
+      w = s;
+    }
+  }
+}
+
+/// Stage 2: transpose the P x Q grid of contiguous tr x tc tiles,
+/// transposing each tile's contents (tr x tc row-major -> tc x tr) as it
+/// moves.
+template <typename T>
+void transpose_tile_grid(T* a, std::uint64_t grid_rows,
+                         std::uint64_t grid_cols, std::uint64_t tr,
+                         std::uint64_t tc, std::vector<std::uint8_t>& bits,
+                         std::vector<T>& tile_tmp,
+                         std::vector<T>& tile_tmp2) {
+  const std::uint64_t slots = grid_rows * grid_cols;
+  const std::uint64_t tile = tr * tc;
+  std::fill(bits.begin(), bits.begin() + slots, std::uint8_t{0});
+
+  auto transpose_into = [&](const T* src, T* dst) {
+    for (std::uint64_t r = 0; r < tr; ++r) {
+      for (std::uint64_t c = 0; c < tc; ++c) {
+        dst[c * tr + r] = src[r * tc + c];
+      }
+    }
+  };
+
+  for (std::uint64_t y = 0; y < slots; ++y) {
+    if (bits[y]) {
+      continue;
+    }
+    bits[y] = 1;
+    // Destination grid is grid_cols x grid_rows; dst slot v corresponds to
+    // src slot src(v) = (v mod grid_rows) * grid_cols + v / grid_rows.
+    const std::uint64_t first_src =
+        (y % grid_rows) * grid_cols + y / grid_rows;
+    if (first_src == y) {
+      // Fixed slot, but the tile itself still needs transposing.
+      transpose_into(a + y * tile, tile_tmp.data());
+      std::copy(tile_tmp.begin(), tile_tmp.begin() + tile, a + y * tile);
+      continue;
+    }
+    std::copy(a + y * tile, a + (y + 1) * tile, tile_tmp.begin());
+    std::uint64_t v = y;
+    for (;;) {
+      const std::uint64_t s = (v % grid_rows) * grid_cols + v / grid_rows;
+      bits[v] = 1;
+      if (s == y) {
+        transpose_into(tile_tmp.data(), tile_tmp2.data());
+        std::copy(tile_tmp2.begin(), tile_tmp2.begin() + tile, a + v * tile);
+        break;
+      }
+      transpose_into(a + s * tile, tile_tmp2.data());
+      std::copy(tile_tmp2.begin(), tile_tmp2.begin() + tile, a + v * tile);
+      v = s;
+    }
+  }
+}
+
+/// Full three-stage tiled transpose.  Preconditions: tr | m, tc | n.
+/// Afterwards the buffer holds the row-major n x m transpose.
+template <typename T>
+void tiled_transpose(T* a, std::uint64_t m, std::uint64_t n,
+                     std::uint64_t tr, std::uint64_t tc) {
+  inplace::detail::checked_extent(a, m, n);
+  if (m <= 1 || n <= 1) {
+    return;
+  }
+  const std::uint64_t grid_rows = m / tr;  // P
+  const std::uint64_t grid_cols = n / tc;  // Q
+
+  // Stage 1: tile-contiguity within each Tr-row band (parallel).
+  {
+    const auto bands = static_cast<std::int64_t>(grid_rows);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::int64_t b = 0; b < bands; ++b) {
+      std::vector<std::uint8_t> bits(tr * grid_cols);
+      std::vector<T> chunk_tmp(tc);
+      transpose_chunk_grid(a + static_cast<std::uint64_t>(b) * tr * n, tr,
+                           grid_cols, tc, bits, chunk_tmp);
+    }
+  }
+
+  // Stage 2: tile-grid transpose (serial cycle following).
+  {
+    std::vector<std::uint8_t> bits(grid_rows * grid_cols);
+    std::vector<T> t1(tr * tc);
+    std::vector<T> t2(tr * tc);
+    transpose_tile_grid(a, grid_rows, grid_cols, tr, tc, bits, t1, t2);
+  }
+
+  // Stage 3: back to row-major within each Tc-row band of the n x m
+  // result (parallel).  The band currently holds grid_rows tiles of
+  // tc x tr; the inverse chunk permutation is a chunk-grid transpose with
+  // swapped roles.
+  {
+    const auto bands = static_cast<std::int64_t>(grid_cols);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::int64_t b = 0; b < bands; ++b) {
+      std::vector<std::uint8_t> bits(tc * grid_rows);
+      std::vector<T> chunk_tmp(tr);
+      transpose_chunk_grid(a + static_cast<std::uint64_t>(b) * tc * m,
+                           grid_rows, tc, tr, bits, chunk_tmp);
+    }
+  }
+}
+
+}  // namespace inplace::baselines::detail

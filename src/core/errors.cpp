@@ -1,0 +1,20 @@
+#include "core/errors.hpp"
+
+#include <limits>
+
+namespace inplace::detail {
+
+std::size_t checked_extent(const void* data, std::size_t rows,
+                           std::size_t cols) {
+  if (rows != 0 && cols > std::numeric_limits<std::size_t>::max() / rows) {
+    throw error("inplace: rows*cols overflows size_t (" +
+                std::to_string(rows) + " x " + std::to_string(cols) + ")");
+  }
+  const std::size_t total = rows * cols;
+  if (total != 0 && data == nullptr) {
+    throw error("inplace: null data with nonzero extent");
+  }
+  return total;
+}
+
+}  // namespace inplace::detail

@@ -1,0 +1,25 @@
+#pragma once
+// Argument validation shared by all public entry points.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace inplace {
+
+/// Thrown for invalid arguments to the public transposition API
+/// (null data with nonzero extent, extent products overflowing size_t, ...).
+class error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+/// Validates an (rows, cols) extent pair against a data pointer and returns
+/// rows*cols, throwing inplace::error on overflow or null data.
+std::size_t checked_extent(const void* data, std::size_t rows,
+                           std::size_t cols);
+
+}  // namespace detail
+}  // namespace inplace

@@ -1,0 +1,113 @@
+#pragma once
+// Plan-reusing execution: `transposer<T>` precomputes the plan, the index
+// math (including every strength-reduced reciprocal) and the scratch
+// workspace once, so repeated transpositions of the same shape — the
+// common case in iterative solvers and ML input pipelines — pay no
+// per-call setup.  `transpose_batched` applies it across a contiguous
+// batch of equally shaped matrices.
+
+#include <cstddef>
+#include <optional>
+
+#include "core/transpose.hpp"
+
+namespace inplace {
+
+/// Reusable in-place transposition executor for one fixed shape.
+template <typename T>
+class transposer {
+ public:
+  /// Plans the transposition of a rows x cols matrix in `order`.
+  transposer(std::size_t rows, std::size_t cols,
+             storage_order order = storage_order::row_major,
+             const options& opts = {})
+      : plan_(make_plan_for_shape(rows, cols, order, opts, sizeof(T))) {
+    if (plan_.m > 1 && plan_.n > 1) {
+      if (plan_.strength_reduction) {
+        fast_math_.emplace(plan_.m, plan_.n);
+      } else {
+        plain_math_.emplace(plan_.m, plan_.n);
+      }
+      if (plan_.engine == engine_kind::blocked) {
+        pool_.emplace(plan_.m, plan_.n, plan_.block_width, plan_.threads);
+      } else {
+        ws_.emplace();
+        if (plan_.engine == engine_kind::skinny) {
+          detail::reserve_skinny(*ws_, plan_.m, plan_.n);
+        } else {
+          ws_->reserve(plan_.m, plan_.n, plan_.block_width);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const transpose_plan& plan() const { return plan_; }
+
+  /// Transposes one matrix in place.  `data` must have the planned shape.
+  void operator()(T* data) {
+    if (plan_.m <= 1 || plan_.n <= 1) {
+      return;
+    }
+    if (fast_math_) {
+      run(data, *fast_math_);
+    } else {
+      run(data, *plain_math_);
+    }
+  }
+
+ private:
+  template <typename Math>
+  void run(T* data, const Math& mm) {
+    switch (plan_.engine) {
+      case engine_kind::reference:
+        if (plan_.dir == direction::c2r) {
+          detail::c2r_reference(data, mm, *ws_);
+        } else {
+          detail::r2c_reference(data, mm, *ws_);
+        }
+        break;
+      case engine_kind::skinny:
+        if (plan_.dir == direction::c2r) {
+          detail::c2r_skinny(data, mm, *ws_);
+        } else {
+          detail::r2c_skinny(data, mm, *ws_);
+        }
+        break;
+      case engine_kind::automatic:
+      case engine_kind::blocked:
+        if (plan_.dir == direction::c2r) {
+          detail::c2r_blocked(data, mm, plan_, *pool_);
+        } else {
+          detail::r2c_blocked(data, mm, plan_, *pool_);
+        }
+        break;
+    }
+  }
+
+  transpose_plan plan_;
+  std::optional<transpose_math<fast_divmod>> fast_math_;
+  std::optional<transpose_math<plain_divmod>> plain_math_;
+  std::optional<detail::workspace<T>> ws_;
+  std::optional<detail::workspace_pool<T>> pool_;
+};
+
+/// Transposes `batch` contiguous, equally shaped rows x cols matrices in
+/// place (data[k * rows * cols] starts matrix k).  Plans once; reuses
+/// scratch across the batch.
+template <typename T>
+void transpose_batched(T* data, std::size_t batch, std::size_t rows,
+                       std::size_t cols,
+                       storage_order order = storage_order::row_major,
+                       const options& opts = {}) {
+  if (batch == 0) {
+    return;
+  }
+  detail::checked_extent(data, rows, cols);
+  transposer<T> tr(rows, cols, order, opts);
+  const std::size_t stride = rows * cols;
+  for (std::size_t k = 0; k < batch; ++k) {
+    tr(data + k * stride);
+  }
+}
+
+}  // namespace inplace

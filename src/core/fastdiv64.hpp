@@ -1,0 +1,74 @@
+#pragma once
+// Barrett reduction for full 64-bit dividends.  The fast_divmod reciprocal
+// (fastdiv.hpp) is exact only for 32-bit operands, which covers any matrix
+// with mn < 2^32; beyond that the index equations fall back to hardware
+// division.  This divider removes the fallback: with a 128-bit fixed-point
+// reciprocal M = floor(2^128 / d), the quotient estimate
+// q̂ = floor(x·M / 2^128) is within 1 of x/d for every x < 2^64, so one
+// conditional correction yields the exact quotient and remainder.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace inplace {
+
+/// Exact division/modulus by a fixed divisor for arbitrary 64-bit
+/// dividends, via 128-bit Barrett reduction.
+class barrett_divmod {
+ public:
+  explicit constexpr barrett_divmod(std::uint64_t d) : d_(d) {
+    if (d == 0) {
+      throw std::invalid_argument("barrett_divmod: divisor must be nonzero");
+    }
+    // M = floor(2^128 / d) as two 64-bit limbs: the high limb is
+    // floor(2^64 / d); the low limb is floor((r_hi·2^64) / d) where
+    // r_hi = 2^64 mod d.  (Long division by limbs.)
+    const auto two64 = static_cast<__uint128_t>(1) << 64;
+    m_hi_ = static_cast<std::uint64_t>(two64 / d);
+    const auto r_hi = static_cast<std::uint64_t>(two64 % d);
+    m_lo_ = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(r_hi) << 64) / d);
+  }
+
+  constexpr barrett_divmod() : barrett_divmod(1) {}
+
+  [[nodiscard]] constexpr std::uint64_t divisor() const { return d_; }
+
+  struct qr {
+    std::uint64_t quot;
+    std::uint64_t rem;
+  };
+
+  [[nodiscard]] constexpr qr divmod(std::uint64_t x) const {
+    if (d_ == 1) {
+      return {x, 0};
+    }
+    // q̂ = (x · (m_hi·2^64 + m_lo)) >> 128
+    const __uint128_t lo = static_cast<__uint128_t>(x) * m_lo_;
+    const __uint128_t t =
+        static_cast<__uint128_t>(x) * m_hi_ +
+        static_cast<std::uint64_t>(lo >> 64);
+    std::uint64_t q = static_cast<std::uint64_t>(t >> 64);
+    std::uint64_t r = x - q * d_;
+    if (r >= d_) {  // Barrett estimate is at most one short
+      ++q;
+      r -= d_;
+    }
+    return {q, r};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t div(std::uint64_t x) const {
+    return divmod(x).quot;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t mod(std::uint64_t x) const {
+    return divmod(x).rem;
+  }
+
+ private:
+  std::uint64_t m_hi_ = 0;
+  std::uint64_t m_lo_ = 0;
+  std::uint64_t d_ = 1;
+};
+
+}  // namespace inplace

@@ -1,0 +1,76 @@
+#pragma once
+// Number-theoretic helpers behind the decomposition: gcd, the extended
+// Euclidean algorithm, and the modular multiplicative inverse used by the
+// gather forms of the row shuffle (Eq. 31) and row permutation (Eq. 34).
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace inplace {
+
+/// Result of the extended Euclidean algorithm: g = gcd(x, y) with Bezout
+/// coefficients g = s*x + t*y.
+struct extended_gcd_result {
+  std::uint64_t g;
+  std::int64_t s;
+  std::int64_t t;
+};
+
+[[nodiscard]] constexpr extended_gcd_result extended_gcd(std::uint64_t x,
+                                                         std::uint64_t y) {
+  std::int64_t s0 = 1, s1 = 0;
+  std::int64_t t0 = 0, t1 = 1;
+  std::uint64_t r0 = x, r1 = y;
+  while (r1 != 0) {
+    const auto q = static_cast<std::int64_t>(r0 / r1);
+    const std::uint64_t r2 = r0 % r1;
+    r0 = r1;
+    r1 = r2;
+    const std::int64_t s2 = s0 - q * s1;
+    s0 = s1;
+    s1 = s2;
+    const std::int64_t t2 = t0 - q * t1;
+    t0 = t1;
+    t1 = t2;
+  }
+  return {r0, s0, t0};
+}
+
+/// Modular multiplicative inverse: the x' in [0, y) with (x*x') mod y == 1.
+/// Defined for coprime x, y (the paper applies it to the coprime pair a, b).
+/// By convention mmi(x, 1) == 0, since every value is congruent mod 1.
+[[nodiscard]] constexpr std::uint64_t mmi(std::uint64_t x, std::uint64_t y) {
+  if (y == 0) {
+    throw std::invalid_argument("mmi: modulus must be nonzero");
+  }
+  if (y == 1) {
+    return 0;
+  }
+  const extended_gcd_result e = extended_gcd(x % y, y);
+  if (e.g != 1) {
+    throw std::invalid_argument("mmi: arguments are not coprime");
+  }
+  const auto m = static_cast<std::int64_t>(y);
+  std::int64_t inv = e.s % m;
+  if (inv < 0) {
+    inv += m;
+  }
+  return static_cast<std::uint64_t>(inv);
+}
+
+/// The paper's standing decomposition constants for an m x n array:
+/// c = gcd(m, n), a = m/c, b = n/c (Section 3).
+struct gcd_triplet {
+  std::uint64_t c;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+[[nodiscard]] constexpr gcd_triplet decompose_gcd(std::uint64_t m,
+                                                  std::uint64_t n) {
+  const std::uint64_t c = std::gcd(m, n);
+  return {c, c == 0 ? 0 : m / c, c == 0 ? 0 : n / c};
+}
+
+}  // namespace inplace

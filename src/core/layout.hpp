@@ -1,0 +1,70 @@
+#pragma once
+// Linearizations and the C2R/R2C index maps of Section 2 (Eqs. 1-14).
+// These are the *definitions*; the decomposed per-row/per-column equations
+// used by the actual algorithm live in equations.hpp.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace inplace {
+
+/// Storage order of the caller's array.
+enum class storage_order { row_major, col_major };
+
+/// Matrix extents: m rows by n cols, as in the paper.
+struct extents {
+  std::uint64_t m;  ///< rows
+  std::uint64_t n;  ///< cols
+  friend constexpr bool operator==(const extents&, const extents&) = default;
+};
+
+namespace lin {
+
+// Row-major linearization (Eqs. 1-3).
+[[nodiscard]] constexpr std::uint64_t lrm(std::uint64_t i, std::uint64_t j,
+                                          std::uint64_t n) {
+  return j + i * n;
+}
+[[nodiscard]] constexpr std::uint64_t irm(std::uint64_t l, std::uint64_t n) {
+  return l / n;
+}
+[[nodiscard]] constexpr std::uint64_t jrm(std::uint64_t l, std::uint64_t n) {
+  return l % n;
+}
+
+// Column-major linearization (Eqs. 4-6).
+[[nodiscard]] constexpr std::uint64_t lcm(std::uint64_t i, std::uint64_t j,
+                                          std::uint64_t m) {
+  return i + j * m;
+}
+[[nodiscard]] constexpr std::uint64_t icm(std::uint64_t l, std::uint64_t m) {
+  return l % m;
+}
+[[nodiscard]] constexpr std::uint64_t jcm(std::uint64_t l, std::uint64_t m) {
+  return l / m;
+}
+
+}  // namespace lin
+
+// The four index functions defining C2R and R2C as gathers (Eqs. 7-10):
+//   A_C2R[i,j] = A[s(i,j), c(i,j)]     (Eq. 11)
+//   A_R2C[i,j] = A[t(i,j), d(i,j)]     (Eq. 12)
+
+[[nodiscard]] constexpr std::uint64_t eq_s(std::uint64_t i, std::uint64_t j,
+                                           const extents& e) {
+  return lin::lrm(i, j, e.n) % e.m;
+}
+[[nodiscard]] constexpr std::uint64_t eq_c(std::uint64_t i, std::uint64_t j,
+                                           const extents& e) {
+  return lin::lrm(i, j, e.n) / e.m;
+}
+[[nodiscard]] constexpr std::uint64_t eq_t(std::uint64_t i, std::uint64_t j,
+                                           const extents& e) {
+  return lin::lcm(i, j, e.m) / e.n;
+}
+[[nodiscard]] constexpr std::uint64_t eq_d(std::uint64_t i, std::uint64_t j,
+                                           const extents& e) {
+  return lin::lcm(i, j, e.m) % e.n;
+}
+
+}  // namespace inplace

@@ -1,0 +1,121 @@
+#pragma once
+// Out-of-place row/column permutation primitives and the reusable scratch
+// workspace.  Algorithm 1 performs every permutation out-of-place into a
+// temporary vector of max(m, n) elements and copies the result back; these
+// helpers are those two loops, expressed once.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace inplace::detail {
+
+/// Scratch storage for one in-place transposition.  Holds the paper's
+/// max(m, n)-element temporary vector plus the small fixed-size buffers
+/// used by the cache-aware passes (Sections 4.6-4.7): a head buffer of
+/// width^2 elements, one sub-row, a visited bitmap and the cycle-leader
+/// list for the row permutation.
+template <typename T>
+struct workspace {
+  std::vector<T> line;        ///< max(m, n) elements (Algorithm 1's tmp)
+  std::vector<T> head;        ///< width * width elements (fine rotation)
+  std::vector<T> subrow;      ///< width elements (coarse rotation)
+  std::vector<std::uint8_t> visited;        ///< m flags (cycle discovery)
+  std::vector<std::uint64_t> cycle_starts;  ///< row-permutation cycles
+  std::vector<std::uint64_t> offsets;       ///< per-column residual shifts
+
+  void reserve(std::uint64_t m, std::uint64_t n, std::uint64_t width) {
+    line.resize(static_cast<std::size_t>(std::max(m, n)));
+    head.resize(static_cast<std::size_t>(width * width));
+    subrow.resize(static_cast<std::size_t>(width));
+    visited.assign(static_cast<std::size_t>(m), 0);
+    offsets.resize(static_cast<std::size_t>(width));
+    cycle_starts.clear();
+  }
+};
+
+/// tmp[j] = row[idx(j)] for j in [0, n), then copy tmp back over the row.
+template <typename T, typename IndexFn>
+void row_gather_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+  for (std::uint64_t j = 0; j < n; ++j) {
+    tmp[j] = row[idx(j)];
+  }
+  std::copy(tmp, tmp + n, row);
+}
+
+/// tmp[idx(j)] = row[j] for j in [0, n), then copy tmp back over the row.
+template <typename T, typename IndexFn>
+void row_scatter_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+  for (std::uint64_t j = 0; j < n; ++j) {
+    tmp[idx(j)] = row[j];
+  }
+  std::copy(tmp, tmp + n, row);
+}
+
+/// tmp[i] = A[idx(i)][j] for i in [0, m), then copy tmp back down column j.
+/// A is row-major m x n.  (Reference path; the cache-aware engines use the
+/// blocked primitives in rotate.hpp instead.)
+template <typename T, typename IndexFn>
+void column_gather_inplace(T* a, std::uint64_t m, std::uint64_t n,
+                           std::uint64_t j, T* tmp, IndexFn idx) {
+  for (std::uint64_t i = 0; i < m; ++i) {
+    tmp[i] = a[idx(i) * n + j];
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    a[i * n + j] = tmp[i];
+  }
+}
+
+/// Finds the cycle structure of the row permutation P (a gather:
+/// dst[i] = src[P(i)]), recording one starting index per nontrivial cycle.
+/// Runs once per transposition; every column group then replays the cycles
+/// (Section 4.7 computes cycles dynamically and stores the descriptors in
+/// temporary memory).
+template <typename PermFn>
+void find_cycles(std::uint64_t m, PermFn perm,
+                 std::vector<std::uint8_t>& visited,
+                 std::vector<std::uint64_t>& cycle_starts) {
+  std::fill(visited.begin(), visited.end(), std::uint8_t{0});
+  cycle_starts.clear();
+  for (std::uint64_t y = 0; y < m; ++y) {
+    if (visited[y]) {
+      continue;
+    }
+    visited[y] = 1;
+    const std::uint64_t first = perm(y);
+    if (first == y) {
+      continue;  // fixed point
+    }
+    cycle_starts.push_back(y);
+    for (std::uint64_t i = first; i != y; i = perm(i)) {
+      visited[i] = 1;
+    }
+  }
+}
+
+/// Applies the row permutation (gather dst[i] = src[P(i)]) to the width-wide
+/// column group starting at column j0, by following the precomputed cycles
+/// and moving width-element sub-rows through `tmp` (width elements).
+template <typename T, typename PermFn>
+void permute_rows_in_group(T* a, std::uint64_t n, std::uint64_t j0,
+                           std::uint64_t width, PermFn perm,
+                           const std::vector<std::uint64_t>& cycle_starts,
+                           T* tmp) {
+  for (const std::uint64_t y : cycle_starts) {
+    T* base = a + j0;
+    std::copy(base + y * n, base + y * n + width, tmp);
+    std::uint64_t i = y;
+    for (;;) {
+      const std::uint64_t s = perm(i);
+      if (s == y) {
+        std::copy(tmp, tmp + width, base + i * n);
+        break;
+      }
+      std::copy(base + s * n, base + s * n + width, base + i * n);
+      i = s;
+    }
+  }
+}
+
+}  // namespace inplace::detail

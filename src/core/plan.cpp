@@ -1,0 +1,82 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+
+#include "core/errors.hpp"
+
+namespace inplace {
+
+std::uint64_t transpose_plan::scratch_elements() const {
+  const std::uint64_t line = std::max(m, n);
+  return line + block_width * block_width + block_width;
+}
+
+transpose_plan make_directed_plan(const void* data, std::size_t m,
+                                  std::size_t n, direction dir,
+                                  const options& opts,
+                                  std::size_t elem_size) {
+  detail::checked_extent(data, m, n);
+  if (elem_size == 0) {
+    throw error("inplace: zero element size");
+  }
+
+  transpose_plan plan;
+  plan.dir = dir;
+  plan.m = m;
+  plan.n = n;
+  plan.strength_reduction = opts.strength_reduction;
+  plan.threads = opts.threads;
+
+  // Sub-rows approximate one cache line (Section 4.6), never narrower than
+  // four elements so the head-buffer scheme stays worthwhile.
+  plan.block_width = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(
+             std::max<std::size_t>(1, opts.block_bytes) / elem_size));
+
+  plan.engine = opts.engine;
+  if (plan.engine == engine_kind::automatic) {
+    plan.engine = (plan.n <= skinny_col_limit && plan.m > plan.n)
+                      ? engine_kind::skinny
+                      : engine_kind::blocked;
+  }
+  if (plan.engine == engine_kind::skinny &&
+      (plan.n > skinny_col_limit || plan.m <= plan.n)) {
+    // The fused skinny passes assume a tall, narrow problem; quietly run
+    // the blocked engine when forced onto an unsuitable shape.
+    plan.engine = engine_kind::blocked;
+  }
+  return plan;
+}
+
+transpose_plan make_plan_for_shape(std::size_t rows, std::size_t cols,
+                                   storage_order order, const options& opts,
+                                   std::size_t elem_size) {
+  // A dummy non-null pointer satisfies the pointer check; extents and
+  // element size are validated as usual.
+  return make_plan(reinterpret_cast<const void*>(sizeof(void*)), rows, cols,
+                   order, opts, elem_size);
+}
+
+transpose_plan make_plan(const void* data, std::size_t rows,
+                         std::size_t cols, storage_order order,
+                         const options& opts, std::size_t elem_size) {
+  // A column-major rows x cols buffer is bit-identical to a row-major
+  // cols x rows buffer; normalize to the row-major view and transpose that
+  // (Theorems 1-2 make both directions available either way).
+  std::size_t vm = rows;
+  std::size_t vn = cols;
+  if (order == storage_order::col_major) {
+    std::swap(vm, vn);
+  }
+
+  // Section 5.2's heuristic: C2R when m > n, else R2C.  The R2C form
+  // transposes a row-major array after swapping the extents (Theorem 2).
+  const bool use_c2r = opts.alg == options::algorithm::c2r ||
+                       (opts.alg == options::algorithm::automatic && vm > vn);
+  if (use_c2r) {
+    return make_directed_plan(data, vm, vn, direction::c2r, opts, elem_size);
+  }
+  return make_directed_plan(data, vn, vm, direction::r2c, opts, elem_size);
+}
+
+}  // namespace inplace

@@ -1,0 +1,88 @@
+#pragma once
+// Planning: algorithm direction (Section 5.2's heuristic), engine variant
+// and scratch sizing for one transposition.  The plan is element-type
+// independent; engines consume it together with a transpose_math instance.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/layout.hpp"
+
+namespace inplace {
+
+/// Which of the two mutually inverse permutations to run (Figure 1).
+enum class direction { c2r, r2c };
+
+/// Engine implementations (Sections 4-5).
+enum class engine_kind {
+  automatic,  ///< pick by shape: skinny for narrow problems, else blocked
+  reference,  ///< Algorithm 1 verbatim: naive per-row/per-column passes
+  blocked,    ///< cache-aware rotations + cycle row permute, parallel
+  skinny,     ///< Section 6.1 fused streaming passes (narrow arrays)
+};
+
+/// User-facing knobs for the public API.
+struct options {
+  /// Force a direction; `automatic` applies the paper's heuristic
+  /// (Section 5.2): C2R when rows > cols, else R2C with swapped extents.
+  enum class algorithm { automatic, c2r, r2c };
+  algorithm alg = algorithm::automatic;
+
+  engine_kind engine = engine_kind::automatic;
+
+  /// Section 4.4 strength reduction; disabling selects hardware division
+  /// (used by the ablation benchmark).
+  bool strength_reduction = true;
+
+  /// OpenMP thread count; 0 keeps the runtime default.
+  int threads = 0;
+
+  /// Sub-row width in bytes for the cache-aware passes.  Section 4.6
+  /// sizes sub-rows to the GPU's 128-byte cache lines; on CPUs a few
+  /// lines per sub-row amortizes the random-row accesses better (see
+  /// bench/ablation_block_width), hence the 256-byte default.
+  std::size_t block_bytes = 256;
+};
+
+/// A resolved execution plan.
+struct transpose_plan {
+  std::uint64_t m = 0;      ///< rows as seen by the algorithm
+  std::uint64_t n = 0;      ///< cols as seen by the algorithm
+  direction dir = direction::c2r;
+  engine_kind engine = engine_kind::blocked;
+  bool strength_reduction = true;
+  int threads = 0;
+  std::uint64_t block_width = 16;  ///< sub-row width in *elements*
+
+  /// Scratch elements the engines may allocate; Theorem 6's bound of
+  /// max(m, n) plus the constant-size cache-aware buffers.
+  [[nodiscard]] std::uint64_t scratch_elements() const;
+};
+
+/// Builds the plan for transposing a `rows x cols` matrix stored in
+/// `order`, after validating extents.  The returned plan's (m, n) are the
+/// extents the chosen permutation runs with — already swapped when the
+/// heuristic picked the R2C form (Theorem 2).
+transpose_plan make_plan(const void* data, std::size_t rows,
+                         std::size_t cols, storage_order order,
+                         const options& opts, std::size_t elem_size);
+
+/// Builds a plan for the raw C2R/R2C permutation on an m x n row-major
+/// view, without the heuristic or any extent swapping.  Used by the
+/// low-level c2r()/r2c() entry points and by the benchmarks that study one
+/// direction in isolation (Figs. 4-5).
+transpose_plan make_directed_plan(const void* data, std::size_t m,
+                                  std::size_t n, direction dir,
+                                  const options& opts, std::size_t elem_size);
+
+/// Shape-only planning (no data pointer yet) — used by transposer<T> to
+/// plan before buffers exist.  Validates extents but not the pointer.
+transpose_plan make_plan_for_shape(std::size_t rows, std::size_t cols,
+                                   storage_order order, const options& opts,
+                                   std::size_t elem_size);
+
+/// Shape threshold for the skinny specialization (Section 6.1): problems
+/// whose algorithm-facing column count is at most this use fused passes.
+inline constexpr std::uint64_t skinny_col_limit = 32;
+
+}  // namespace inplace

@@ -1,0 +1,159 @@
+#pragma once
+// Column rotations (Section 4.6).  A rotation gathers dst[i] =
+// src[(i + k_j) mod m] down each column j.  The cache-aware form processes
+// `width` adjacent columns together so that every memory touch moves a
+// cache-line-sized sub-row:
+//
+//   1. a *coarse* pass rotates the whole group by a common amount k using
+//      analytic cycle following (z = gcd(m, k) cycles of length m/z), and
+//   2. a *fine* pass applies the per-column residuals (all < width) in a
+//      single streaming sweep with a small "head" buffer.
+//
+// Both passes move sub-rows, not single elements, which is the whole point
+// of Section 4.6.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/permute.hpp"
+
+namespace inplace::detail {
+
+/// Reference rotation of a single column by gather offset k (k in [0, m)).
+template <typename T>
+void rotate_column_naive(T* a, std::uint64_t m, std::uint64_t n,
+                         std::uint64_t j, std::uint64_t k, T* tmp) {
+  if (k == 0) {
+    return;
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t s = i + k;
+    if (s >= m) {
+      s -= m;
+    }
+    tmp[i] = a[s * n + j];
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    a[i * n + j] = tmp[i];
+  }
+}
+
+/// Coarse pass: rotate the `width`-wide column group at j0 by the common
+/// gather offset k, in place, via analytic cycle following on sub-rows.
+/// There are gcd(m, k) cycles of length m / gcd(m, k) each.
+template <typename T>
+void coarse_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
+                         std::uint64_t j0, std::uint64_t width,
+                         std::uint64_t k, T* subrow_tmp) {
+  if (k == 0) {
+    return;
+  }
+  T* base = a + j0;
+  const std::uint64_t z = std::gcd(m, k);
+  for (std::uint64_t y = 0; y < z; ++y) {
+    std::copy(base + y * n, base + y * n + width, subrow_tmp);
+    std::uint64_t i = y;
+    for (;;) {
+      std::uint64_t s = i + k;
+      if (s >= m) {
+        s -= m;
+      }
+      if (s == y) {
+        std::copy(subrow_tmp, subrow_tmp + width, base + i * n);
+        break;
+      }
+      std::copy(base + s * n, base + s * n + width, base + i * n);
+      i = s;
+    }
+  }
+}
+
+/// Fine pass: apply per-column residual gather offsets res[jj] (all
+/// strictly less than min(width, m)) to the group in one streaming sweep.
+/// The first max(res) rows are saved in `head` (width*width elements), so
+/// wrapped reads never observe already-overwritten rows.
+template <typename T>
+void fine_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
+                       std::uint64_t j0, std::uint64_t width,
+                       const std::uint64_t* res, T* head) {
+  std::uint64_t max_res = 0;
+  for (std::uint64_t jj = 0; jj < width; ++jj) {
+    max_res = std::max(max_res, res[jj]);
+  }
+  if (max_res == 0) {
+    return;  // Section 4.6: the fine pass is often skippable
+  }
+  T* base = a + j0;
+  for (std::uint64_t r = 0; r < max_res; ++r) {
+    std::copy(base + r * n, base + r * n + width, head + r * width);
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t jj = 0; jj < width; ++jj) {
+      const std::uint64_t s = i + res[jj];
+      base[i * n + jj] =
+          s < m ? base[s * n + jj] : head[(s - m) * width + jj];
+    }
+  }
+}
+
+/// Cache-aware rotation of one `w`-wide column group at j0 by per-column
+/// gather offsets amount(j).  Amounts within the group must lie in a window
+/// of fewer than min(width, m) consecutive values mod m (true for all of
+/// the paper's rotation families: ±j and ±⌊j/b⌋); groups violating the
+/// window assumption fall back to naive per-column rotation.
+template <typename T, typename AmountFn>
+void rotate_group_cache_aware(T* a, std::uint64_t m, std::uint64_t n,
+                              std::uint64_t j0, std::uint64_t w,
+                              AmountFn amount, workspace<T>& ws) {
+  // Normalize the group's rotation amounts to a common coarse offset k
+  // plus small non-negative residuals: map each (amount - amount(j0))
+  // mod m into the signed window (-m/2, m/2] and take its minimum as the
+  // correction to k.
+  const std::uint64_t k0 = amount(j0) % m;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (std::uint64_t jj = 0; jj < w; ++jj) {
+    const std::uint64_t d = (amount(j0 + jj) % m + m - k0) % m;
+    auto sd = static_cast<std::int64_t>(d);
+    if (d > m / 2) {
+      sd -= static_cast<std::int64_t>(m);
+    }
+    lo = std::min(lo, sd);
+    hi = std::max(hi, sd);
+  }
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  if (span >= std::min(w, m)) {
+    for (std::uint64_t jj = 0; jj < w; ++jj) {
+      rotate_column_naive(a, m, n, j0 + jj, amount(j0 + jj) % m,
+                          ws.line.data());
+    }
+    return;
+  }
+  const auto sm = static_cast<std::int64_t>(m);
+  const std::uint64_t k =
+      (k0 + static_cast<std::uint64_t>((lo % sm + sm) % sm)) % m;
+  for (std::uint64_t jj = 0; jj < w; ++jj) {
+    ws.offsets[jj] = (amount(j0 + jj) % m + m - k) % m;
+  }
+  coarse_rotate_group(a, m, n, j0, w, k, ws.subrow.data());
+  fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+}
+
+/// Serial convenience wrapper: rotates every column of the array, group by
+/// group.  (The parallel engines drive rotate_group_cache_aware directly.)
+template <typename T, typename AmountFn>
+void rotate_columns_blocked(T* a, std::uint64_t m, std::uint64_t n,
+                            std::uint64_t width, AmountFn amount,
+                            workspace<T>& ws) {
+  if (m <= 1) {
+    return;
+  }
+  for (std::uint64_t j0 = 0; j0 < n; j0 += width) {
+    rotate_group_cache_aware(a, m, n, j0, std::min(width, n - j0), amount,
+                             ws);
+  }
+}
+
+}  // namespace inplace::detail

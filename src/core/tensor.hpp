@@ -1,0 +1,106 @@
+#pragma once
+// In-place 3-D tensor axis permutation, composed from the paper's 2-D
+// machinery (an extension in the spirit of Section 6.1's layout
+// conversions).  A row-major tensor [d0][d1][d2] supports all six axis
+// orders:
+//
+//   (0,1,2)  identity
+//   (0,2,1)  batched transposition of d0 independent d1 x d2 slabs
+//   (1,2,0)  one 2-D transposition of the d0 x (d1*d2) view
+//   (2,0,1)  one 2-D transposition of the (d0*d1) x d2 view
+//   (1,0,2)  chunk-granular transposition of the d0 x d1 grid of
+//            d2-element rows (cycle following over fixed chunk slots)
+//   (2,1,0)  (0,2,1) followed by (1,2,0)
+//
+// Everything runs in place; the chunk-grid case uses one visited bit per
+// chunk (d0*d1 bits), all other cases inherit the O(max) scratch bound.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "baselines/tiled_core.hpp"
+#include "core/executor.hpp"
+#include "core/transpose.hpp"
+
+namespace inplace {
+
+/// Axis order for permute3: out[i_perm[0]][i_perm[1]][i_perm[2]] layout.
+/// perm must be a permutation of {0, 1, 2}; perm[k] names the input axis
+/// that becomes output axis k.
+using axis_perm = std::array<int, 3>;
+
+namespace detail {
+
+inline void validate_axis_perm(const axis_perm& p) {
+  int seen = 0;
+  for (const int axis : p) {
+    if (axis < 0 || axis > 2) {
+      throw error("permute3: axes must be 0, 1 or 2");
+    }
+    seen |= 1 << axis;
+  }
+  if (seen != 0b111) {
+    throw error("permute3: axes must be a permutation of {0,1,2}");
+  }
+}
+
+/// In-place transpose of a d0 x d1 grid of contiguous `chunk`-element
+/// blocks: block (i, j) moves to slot j*d0 + i.
+template <typename T>
+void transpose_chunk_matrix(T* data, std::size_t d0, std::size_t d1,
+                            std::size_t chunk) {
+  if (d0 <= 1 || d1 <= 1 || chunk == 0) {
+    return;
+  }
+  std::vector<std::uint8_t> bits(d0 * d1);
+  std::vector<T> tmp(chunk);
+  baselines::detail::transpose_chunk_grid(data, d0, d1, chunk, bits, tmp);
+}
+
+}  // namespace detail
+
+/// Permutes the axes of a row-major [d0][d1][d2] tensor in place.
+/// Afterwards the buffer is row-major with extents
+/// [d_{perm[0]}][d_{perm[1]}][d_{perm[2]}] and
+/// out[a][b][c] == in[i0][i1][i2] where (i_{perm[0]}, i_{perm[1]},
+/// i_{perm[2]}) = (a, b, c).
+template <typename T>
+void permute3(T* data, std::size_t d0, std::size_t d1, std::size_t d2,
+              const axis_perm& perm, const options& opts = {}) {
+  detail::validate_axis_perm(perm);
+  if (d0 != 0 && d1 != 0 && d2 != 0) {
+    detail::checked_extent(data, d0 * d1, d2);
+  }
+  const std::size_t total = d0 * d1 * d2;
+  if (total == 0) {
+    return;
+  }
+
+  const axis_perm identity{0, 1, 2};
+  if (perm == identity) {
+    return;
+  }
+  if (perm == axis_perm{0, 2, 1}) {
+    transpose_batched(data, d0, d1, d2, storage_order::row_major, opts);
+    return;
+  }
+  if (perm == axis_perm{1, 2, 0}) {
+    transpose(data, d0, d1 * d2, storage_order::row_major, opts);
+    return;
+  }
+  if (perm == axis_perm{2, 0, 1}) {
+    transpose(data, d0 * d1, d2, storage_order::row_major, opts);
+    return;
+  }
+  if (perm == axis_perm{1, 0, 2}) {
+    detail::transpose_chunk_matrix(data, d0, d1, d2);
+    return;
+  }
+  // perm == {2, 1, 0}: swap the last two axes per slab, then rotate the
+  // leading axis to the back.
+  transpose_batched(data, d0, d1, d2, storage_order::row_major, opts);
+  transpose(data, d0, d2 * d1, storage_order::row_major, opts);
+}
+
+}  // namespace inplace

@@ -1,0 +1,115 @@
+#pragma once
+// Public in-place transposition API.
+//
+//   inplace::transpose(data, rows, cols)        — transpose a row-major
+//       rows x cols matrix in place; afterwards the buffer is the
+//       row-major cols x rows transpose.  A storage_order argument selects
+//       the column-major interpretation instead.
+//
+//   inplace::c2r(data, m, n) / inplace::r2c(data, m, n) — the raw
+//       "Columns to Rows" / "Rows to Columns" permutations of Figure 1 on
+//       an m x n row-major view.  They are mutual inverses; C2R equals the
+//       row-major transposition (Theorem 1).
+//
+// All entry points run in O(mn) work with O(max(m, n)) auxiliary space
+// (Theorem 6) and are parallelized with OpenMP when available.
+
+#include <cstddef>
+
+#include "core/equations.hpp"
+#include "core/errors.hpp"
+#include "core/layout.hpp"
+#include "core/plan.hpp"
+#include "cpu/engine_blocked.hpp"
+#include "cpu/engine_reference.hpp"
+#include "cpu/skinny.hpp"
+
+namespace inplace {
+
+namespace detail {
+
+template <typename T, typename Math>
+void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
+  switch (plan.engine) {
+    case engine_kind::reference: {
+      workspace<T> ws;
+      ws.reserve(mm.m, mm.n, plan.block_width);
+      if (plan.dir == direction::c2r) {
+        c2r_reference(data, mm, ws);
+      } else {
+        r2c_reference(data, mm, ws);
+      }
+      break;
+    }
+    case engine_kind::skinny: {
+      workspace<T> ws;
+      reserve_skinny(ws, mm.m, mm.n);
+      if (plan.dir == direction::c2r) {
+        c2r_skinny(data, mm, ws);
+      } else {
+        r2c_skinny(data, mm, ws);
+      }
+      break;
+    }
+    case engine_kind::automatic:  // resolved by the planner; treat as blocked
+    case engine_kind::blocked:
+      if (plan.dir == direction::c2r) {
+        c2r_blocked(data, mm, plan);
+      } else {
+        r2c_blocked(data, mm, plan);
+      }
+      break;
+  }
+}
+
+template <typename T>
+void execute_plan(T* data, const transpose_plan& plan) {
+  // Degenerate shapes: a 1 x n or m x 1 matrix transposes to the identical
+  // buffer, and the permutation equations degenerate with it.
+  if (plan.m <= 1 || plan.n <= 1) {
+    return;
+  }
+  if (plan.strength_reduction) {
+    const transpose_math<fast_divmod> mm(plan.m, plan.n);
+    run_with_math(data, mm, plan);
+  } else {
+    const transpose_math<plain_divmod> mm(plan.m, plan.n);
+    run_with_math(data, mm, plan);
+  }
+}
+
+}  // namespace detail
+
+/// Transposes a rows x cols matrix in place.  For row-major storage the
+/// buffer afterwards holds the row-major cols x rows transpose; for
+/// column-major, the column-major transpose.
+template <typename T>
+void transpose(T* data, std::size_t rows, std::size_t cols,
+               storage_order order = storage_order::row_major,
+               const options& opts = {}) {
+  const transpose_plan plan =
+      make_plan(data, rows, cols, order, opts, sizeof(T));
+  detail::execute_plan(data, plan);
+}
+
+/// The raw C2R permutation of an m x n row-major view (Figure 1, left to
+/// right).  Equivalent to row-major transposition (Theorem 1): afterwards
+/// the buffer is the row-major n x m transpose.
+template <typename T>
+void c2r(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
+  const transpose_plan plan =
+      make_directed_plan(data, m, n, direction::c2r, opts, sizeof(T));
+  detail::execute_plan(data, plan);
+}
+
+/// The raw R2C permutation of an m x n row-major view — the inverse of
+/// c2r(data, m, n).  Per Theorem 2, r2c(data, n, m) also transposes a
+/// row-major m x n matrix.
+template <typename T>
+void r2c(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
+  const transpose_plan plan =
+      make_directed_plan(data, m, n, direction::r2c, opts, sizeof(T));
+  detail::execute_plan(data, plan);
+}
+
+}  // namespace inplace

@@ -1,0 +1,300 @@
+#pragma once
+// The production engine: Algorithm 1 with the paper's Section 4
+// optimizations applied —
+//   * fully gather-based row shuffles (Section 4.2/4.3),
+//   * the column shuffle decomposed into a rotation and a static row
+//     permutation (Section 4.1),
+//   * cache-aware two-phase rotations moving cache-line-sized sub-rows
+//     (Section 4.6),
+//   * cache-aware cycle-following row permutation (Section 4.7),
+//   * OpenMP parallelism over independent rows / column groups — the
+//     decomposition's "perfect load balancing" claim.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/equations.hpp"
+#include "core/permute.hpp"
+#include "core/plan.hpp"
+#include "core/rotate.hpp"
+#include "util/threads.hpp"
+
+#if defined(INPLACE_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace inplace::detail {
+
+/// Per-thread scratch pool sized for one plan.
+template <typename T>
+class workspace_pool {
+ public:
+  /// threads_hint must cover any thread count a later
+  /// thread_count_guard may raise the OpenMP pool to; undersizing would
+  /// make two threads share a workspace.
+  workspace_pool(std::uint64_t m, std::uint64_t n, std::uint64_t width,
+                 int threads_hint = 0) {
+    const int count =
+        std::max({util::hardware_threads(), threads_hint, 1});
+    pool_.resize(static_cast<std::size_t>(count));
+    for (auto& ws : pool_) {
+      ws.reserve(m, n, width);
+    }
+  }
+
+  workspace<T>& local() {
+#if defined(INPLACE_HAVE_OPENMP)
+    return pool_[static_cast<std::size_t>(omp_get_thread_num()) %
+                 pool_.size()];
+#else
+    return pool_.front();
+#endif
+  }
+
+  workspace<T>& front() { return pool_.front(); }
+
+ private:
+  std::vector<workspace<T>> pool_;
+};
+
+/// Parallel cache-aware rotation of all columns by amount(j).
+template <typename T, typename AmountFn>
+void rotate_all_parallel(T* a, std::uint64_t m, std::uint64_t n,
+                         std::uint64_t width, AmountFn amount,
+                         workspace_pool<T>& pool) {
+  if (m <= 1) {
+    return;
+  }
+  const auto groups =
+      static_cast<std::int64_t>((n + width - 1) / width);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::uint64_t j0 = static_cast<std::uint64_t>(g) * width;
+    const std::uint64_t w = std::min(width, n - j0);
+    rotate_group_cache_aware(a, m, n, j0, w, amount, pool.local());
+  }
+}
+
+/// Parallel row shuffle: each row gathers through its own scratch line.
+template <typename T, typename IndexFn>
+void shuffle_rows_parallel(T* a, std::uint64_t m, std::uint64_t n,
+                           IndexFn idx, workspace_pool<T>& pool) {
+  const auto rows = static_cast<std::int64_t>(m);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (std::int64_t ii = 0; ii < rows; ++ii) {
+    const auto i = static_cast<std::uint64_t>(ii);
+    row_gather_inplace(a + i * n, n, pool.local().line.data(),
+                       [&](std::uint64_t j) { return idx(i, j); });
+  }
+}
+
+/// Parallel row shuffle, scatter form.  The scratch line is cache
+/// resident, so the scatter costs the same memory traffic as the gather
+/// while the C2R index function d' (Eq. 24) is far cheaper to evaluate
+/// than its modular inverse d'^-1 (Eq. 31).
+template <typename T, typename IndexFn>
+void shuffle_rows_scatter_parallel(T* a, std::uint64_t m, std::uint64_t n,
+                                   IndexFn idx, workspace_pool<T>& pool) {
+  const auto rows = static_cast<std::int64_t>(m);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (std::int64_t ii = 0; ii < rows; ++ii) {
+    const auto i = static_cast<std::uint64_t>(ii);
+    row_scatter_inplace(a + i * n, n, pool.local().line.data(),
+                        [&](std::uint64_t j) { return idx(i, j); });
+  }
+}
+
+/// Parallel whole-array row permutation (gather dst[i] = src[perm(i)]):
+/// cycles are discovered once, then every width-wide column group replays
+/// them independently (Section 4.7).
+template <typename T, typename PermFn>
+void permute_rows_parallel(T* a, std::uint64_t m, std::uint64_t n,
+                           std::uint64_t width, PermFn perm,
+                           workspace_pool<T>& pool) {
+  auto& ws0 = pool.front();
+  find_cycles(m, perm, ws0.visited, ws0.cycle_starts);
+  if (ws0.cycle_starts.empty()) {
+    return;
+  }
+  const std::vector<std::uint64_t>& cycles = ws0.cycle_starts;
+  const auto groups =
+      static_cast<std::int64_t>((n + width - 1) / width);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::uint64_t j0 = static_cast<std::uint64_t>(g) * width;
+    const std::uint64_t w = std::min(width, n - j0);
+    permute_rows_in_group(a, n, j0, w, perm, cycles,
+                          pool.local().subrow.data());
+  }
+}
+
+/// Parallel C2R row shuffle with the incremental d' evaluator: scatter
+/// tmp[d'_i(j)] = row[j] with adds and conditional subtracts only.
+template <typename T, typename Math>
+void c2r_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
+  const auto rows = static_cast<std::int64_t>(mm.m);
+  const std::uint64_t n = mm.n;
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (std::int64_t ii = 0; ii < rows; ++ii) {
+    const auto i = static_cast<std::uint64_t>(ii);
+    T* row = a + i * n;
+    T* tmp = pool.local().line.data();
+    d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      tmp[step.value()] = row[j];
+    }
+    std::copy(tmp, tmp + n, row);
+  }
+}
+
+/// Parallel R2C row shuffle (gather form, Section 4.3) with the
+/// incremental d' evaluator: tmp[j] = row[d'_i(j)].
+template <typename T, typename Math>
+void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
+  const auto rows = static_cast<std::int64_t>(mm.m);
+  const std::uint64_t n = mm.n;
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (std::int64_t ii = 0; ii < rows; ++ii) {
+    const auto i = static_cast<std::uint64_t>(ii);
+    T* row = a + i * n;
+    T* tmp = pool.local().line.data();
+    d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      tmp[j] = row[step.value()];
+    }
+    std::copy(tmp, tmp + n, row);
+  }
+}
+
+/// Fused column shuffle for C2R (Section 4.1-4.2 sharpened): instead of
+/// [rotate p: coarse+fine] + [permute q], each width-wide group runs
+///   1. a fine streaming rotation by (j - j0) mod m, then
+///   2. cycle-following with the group-local permutation
+///      P_g(i) = (q(i) + j0) mod m, moving whole sub-rows —
+/// because s'_j = rot_{j-j0} then P_g as sequential gathers.  Two fewer
+/// element touches per element than the split form.
+template <typename T, typename Math>
+void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
+                     workspace_pool<T>& pool) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    workspace<T>& ws = pool.local();
+    const std::uint64_t j0 = static_cast<std::uint64_t>(g) * width;
+    const std::uint64_t w = std::min(width, n - j0);
+    for (std::uint64_t jj = 0; jj < w; ++jj) {
+      ws.offsets[jj] = jj % m;
+    }
+    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+    const std::uint64_t shift = j0 % m;
+    const auto perm = [&](std::uint64_t i) {
+      const std::uint64_t v = mm.q(i) + shift;
+      return v >= m ? v - m : v;
+    };
+    find_cycles(m, perm, ws.visited, ws.cycle_starts);
+    permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
+                          ws.subrow.data());
+  }
+}
+
+/// Fused inverse column shuffle for R2C: per group, cycle-following with
+/// W_g(x) = q^-1((x + delta_g) mod m), delta_g = (-j0 - (w-1)) mod m,
+/// then a fine streaming rotation by (w-1-jj) mod m.
+template <typename T, typename Math>
+void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
+                     workspace_pool<T>& pool) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    workspace<T>& ws = pool.local();
+    const std::uint64_t j0 = static_cast<std::uint64_t>(g) * width;
+    const std::uint64_t w = std::min(width, n - j0);
+    const std::uint64_t delta = (m - (j0 + w - 1) % m) % m;
+    const auto perm = [&](std::uint64_t x) {
+      std::uint64_t v = x + delta;
+      v %= m;
+      return mm.q_inv(v);
+    };
+    find_cycles(m, perm, ws.visited, ws.cycle_starts);
+    permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
+                          ws.subrow.data());
+    for (std::uint64_t jj = 0; jj < w; ++jj) {
+      ws.offsets[jj] = (w - 1 - jj) % m;
+    }
+    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+  }
+}
+
+/// Cache-aware, parallel C2R transposition using caller-owned scratch.
+template <typename T, typename Math>
+void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
+                 workspace_pool<T>& pool) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  const std::uint64_t width = plan.block_width;
+  util::thread_count_guard guard(plan.threads);
+
+  if (mm.needs_prerotate()) {
+    rotate_all_parallel(
+        a, m, n, width,
+        [&](std::uint64_t j) { return mm.prerotate_offset(j); }, pool);
+  }
+  c2r_row_pass(a, mm, pool);
+  c2r_col_shuffle(a, mm, width, pool);
+}
+
+/// Cache-aware, parallel C2R transposition.
+template <typename T, typename Math>
+void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan) {
+  workspace_pool<T> pool(mm.m, mm.n, plan.block_width, plan.threads);
+  c2r_blocked(a, mm, plan, pool);
+}
+
+/// Cache-aware, parallel R2C transposition (inverse steps, Section 4.3)
+/// using caller-owned scratch.
+template <typename T, typename Math>
+void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
+                 workspace_pool<T>& pool) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  const std::uint64_t width = plan.block_width;
+  util::thread_count_guard guard(plan.threads);
+
+  r2c_col_shuffle(a, mm, width, pool);
+  r2c_row_pass(a, mm, pool);
+  if (mm.needs_prerotate()) {
+    rotate_all_parallel(
+        a, m, n, width,
+        [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); }, pool);
+  }
+}
+
+/// Cache-aware, parallel R2C transposition.
+template <typename T, typename Math>
+void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan) {
+  workspace_pool<T> pool(mm.m, mm.n, plan.block_width, plan.threads);
+  r2c_blocked(a, mm, plan, pool);
+}
+
+}  // namespace inplace::detail

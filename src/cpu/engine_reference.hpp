@@ -1,0 +1,145 @@
+#pragma once
+// Algorithm 1 of the paper, verbatim: naive per-column gathers and per-row
+// scatters through a max(m, n)-element temporary.  This engine exists as
+// the executable specification the optimized engines are tested against,
+// and it carries the instrumentation that checks Theorem 6's "each element
+// is read and written at most 6 times" bound.
+
+#include <cstdint>
+
+#include "core/equations.hpp"
+#include "core/permute.hpp"
+
+namespace inplace::detail {
+
+/// Array-element touch counts (scratch traffic excluded, matching the
+/// paper's accounting in Theorem 6).
+struct touch_counter {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// In-place C2R transposition (Algorithm 1).  After the call, the buffer
+/// holds the row-major linearization of the transpose (Theorem 1).
+template <typename T, typename Math>
+void c2r_reference(T* a, const Math& mm, workspace<T>& ws,
+                   touch_counter* tc = nullptr) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  T* tmp = ws.line.data();
+
+  // Step 1 — pre-rotation (Eq. 23), needed only when gcd(m, n) > 1.
+  if (mm.needs_prerotate()) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t k = mm.prerotate_offset(j);
+      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+        std::uint64_t s = i + k;
+        return s >= m ? s - m : s;
+      });
+    }
+    if (tc) {
+      tc->reads += m * n;
+      tc->writes += m * n;
+    }
+  }
+
+  // Step 2 — row shuffle, scatter per Eq. 24.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    row_scatter_inplace(a + i * n, n, tmp,
+                        [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  }
+
+  // Step 3 — column shuffle, gather per Eq. 26.
+  for (std::uint64_t j = 0; j < n; ++j) {
+    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+      return mm.s_prime(i, j);
+    });
+  }
+  if (tc) {
+    tc->reads += 2 * m * n;
+    tc->writes += 2 * m * n;
+  }
+}
+
+/// Gather-based C2R variant (Section 5.1's CPU implementation uses the
+/// fully gather-based form with d'^-1).
+template <typename T, typename Math>
+void c2r_reference_gather(T* a, const Math& mm, workspace<T>& ws) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  T* tmp = ws.line.data();
+  if (mm.needs_prerotate()) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t k = mm.prerotate_offset(j);
+      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+        std::uint64_t s = i + k;
+        return s >= m ? s - m : s;
+      });
+    }
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    row_gather_inplace(a + i * n, n, tmp, [&](std::uint64_t j) {
+      return mm.d_prime_inv(i, j);
+    });
+  }
+  for (std::uint64_t j = 0; j < n; ++j) {
+    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+      return mm.s_prime(i, j);
+    });
+  }
+}
+
+/// In-place R2C transposition: the inverse of C2R, i.e. the C2R steps
+/// reversed with gathers/scatters interchanged (Section 4.3).
+template <typename T, typename Math>
+void r2c_reference(T* a, const Math& mm, workspace<T>& ws,
+                   touch_counter* tc = nullptr) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  T* tmp = ws.line.data();
+
+  // Step 1 — inverse column shuffle.  The C2R column shuffle is the gather
+  // composition p_j then q, so its inverse is the single gather
+  // q^-1((i + p^-1_j) mod m) (Eqs. 34-35), one pass per column.
+  for (std::uint64_t j = 0; j < n; ++j) {
+    const std::uint64_t k = mm.p_inv_offset(j);
+    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+      std::uint64_t s = i + k;
+      if (s >= m) {
+        s -= m;
+      }
+      return mm.q_inv(s);
+    });
+  }
+  if (tc) {
+    tc->reads += m * n;
+    tc->writes += m * n;
+  }
+
+  // Step 2 — row shuffle; the gather form uses d' directly (Section 4.3).
+  for (std::uint64_t i = 0; i < m; ++i) {
+    row_gather_inplace(a + i * n, n, tmp,
+                       [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  }
+
+  // Step 3 — inverse pre-rotation (Eq. 36), when gcd(m, n) > 1.
+  if (mm.needs_prerotate()) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t k = mm.prerotate_inv_offset(j);
+      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+        std::uint64_t s = i + k;
+        return s >= m ? s - m : s;
+      });
+    }
+    if (tc) {
+      tc->reads += m * n;
+      tc->writes += m * n;
+    }
+  }
+  if (tc) {
+    tc->reads += m * n;
+    tc->writes += m * n;
+  }
+}
+
+}  // namespace inplace::detail

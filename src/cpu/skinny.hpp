@@ -1,0 +1,131 @@
+#pragma once
+// Section 6.1: specialized transposition for the tall, narrow arrays that
+// arise when converting Arrays of Structures to Structures of Arrays.
+// Preconditions (enforced by the planner): n <= skinny_col_limit and
+// m > n.  All column operations act over the full (tiny) row width, so
+// every pass streams whole rows — the CPU analogue of the paper's "perform
+// all column operations in on-chip memory".
+//
+// C2R runs in three streaming passes (6 element touches, Theorem 6):
+//   1. pre-rotation fused with the row shuffle: one top-down sweep with a
+//      (c-1)-row head buffer absorbing the wrap-around reads,
+//   2. the rotation component p of the column shuffle (residuals j < n),
+//   3. the static row permutation q as whole-row cycle following.
+// R2C is the mirror image, with the final fused pass sweeping bottom-up.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/equations.hpp"
+#include "core/permute.hpp"
+#include "core/rotate.hpp"
+
+namespace inplace::detail {
+
+template <typename T>
+void reserve_skinny(workspace<T>& ws, std::uint64_t m, std::uint64_t n) {
+  ws.reserve(m, n, /*width=*/n);
+}
+
+/// Skinny C2R: in-place transpose of a tall row-major m x n array
+/// (m > n); equivalently, AoS -> SoA conversion for m structures of n
+/// fields each.
+template <typename T, typename Math>
+void c2r_skinny(T* a, const Math& mm, workspace<T>& ws) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  T* tmp = ws.line.data();
+  T* head = ws.head.data();
+
+  // Pass 1 — fused pre-rotation (gather, Eq. 23) + row shuffle (scatter,
+  // Eq. 24): tmp[d'_i(j)] <- A[(i + ⌊j/b⌋) mod m][j].  Sources sit at or
+  // below the sweep row except for wrapped reads, which the head buffer
+  // (original rows [0, c-1)) serves.
+  const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
+  for (std::uint64_t r = 0; r < head_rows; ++r) {
+    std::copy(a + r * n, a + (r + 1) * n, head + r * n);
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
+      tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
+    }
+    std::copy(tmp, tmp + n, a + i * n);
+  }
+
+  // Pass 2 — rotation component p_j of the column shuffle.  Offsets are
+  // exactly j in [0, n) < m, so the fine streaming pass applies directly.
+  for (std::uint64_t j = 0; j < n; ++j) {
+    ws.offsets[j] = mm.p_offset(j);
+  }
+  fine_rotate_group(a, m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(), head);
+
+  // Pass 3 — static row permutation q, moving whole contiguous rows.
+  find_cycles(m, [&](std::uint64_t i) { return mm.q(i); }, ws.visited,
+              ws.cycle_starts);
+  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
+                        [&](std::uint64_t i) { return mm.q(i); },
+                        ws.cycle_starts, tmp);
+}
+
+/// Skinny R2C: the inverse of c2r_skinny on the same m x n view
+/// (SoA -> AoS conversion).
+template <typename T, typename Math>
+void r2c_skinny(T* a, const Math& mm, workspace<T>& ws) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  T* tmp = ws.line.data();
+  T* head = ws.head.data();
+
+  // Pass 1 — inverse row permutation q^-1, whole-row cycle following.
+  find_cycles(m, [&](std::uint64_t i) { return mm.q_inv(i); }, ws.visited,
+              ws.cycle_starts);
+  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
+                        [&](std::uint64_t i) { return mm.q_inv(i); },
+                        ws.cycle_starts, tmp);
+
+  // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
+  // machinery normalizes them to a coarse whole-row rotation plus small
+  // residuals).
+  rotate_group_cache_aware(a, m, n, /*j0=*/0, /*w=*/n,
+                           [&](std::uint64_t j) { return mm.p_inv_offset(j); },
+                           ws);
+
+  // Pass 3 — row shuffle (gather d') fused with the inverse pre-rotation
+  // (gather offset -⌊j/b⌋): row i, col j <- row (i - ⌊j/b⌋) mod m, col
+  // d'_s(j).  Sweeping bottom-up keeps unwrapped sources unwritten; the
+  // wrapped reads (into the top rows written first) come from a saved tail.
+  const std::uint64_t tail_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
+  const std::uint64_t tail_base = m - tail_rows;
+  for (std::uint64_t r = 0; r < tail_rows; ++r) {
+    std::copy(a + (tail_base + r) * n, a + (tail_base + r + 1) * n,
+              head + r * n);
+  }
+  // Index simplification: with s = (i - ⌊j/b⌋) mod m we have
+  // s + ⌊j/b⌋ ≡ i (mod m), so d'_s(j) = ((s + ⌊j/b⌋) mod m + jm) mod n
+  // collapses to the unrotated d_i(j) = (i + jm) mod n — incrementally
+  // computable with one add and a conditional subtract per element.
+  const std::uint64_t m_mod_n = m % n;
+  for (std::uint64_t ii = m; ii-- > 0;) {
+    std::uint64_t jj = ii % n;  // d_i(0)
+    std::uint64_t off = 0;      // ⌊j/b⌋
+    std::uint64_t jb = 0;       // j mod b
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const bool wrapped = ii < off;
+      const std::uint64_t s = wrapped ? ii + m - off : ii - off;
+      tmp[j] = wrapped ? head[(s - tail_base) * n + jj] : a[s * n + jj];
+      jj += m_mod_n;
+      if (jj >= n) {
+        jj -= n;
+      }
+      if (++jb == mm.b) {
+        jb = 0;
+        ++off;
+      }
+    }
+    std::copy(tmp, tmp + n, a + ii * n);
+  }
+}
+
+}  // namespace inplace::detail

@@ -1,0 +1,34 @@
+#pragma once
+// Section 6.1: in-place data layout conversion between Arrays of
+// Structures and Structures of Arrays.
+//
+// An array of `count` structures of `fields` elements each is a row-major
+// count x fields matrix; the Structure-of-Arrays layout of the same data is
+// its transpose.  The planner routes these tall, skinny problems to the
+// fused streaming engine (cpu/skinny.hpp).
+
+#include <cstddef>
+
+#include "core/transpose.hpp"
+
+namespace inplace {
+
+/// Converts an Array of Structures (count structures of `fields` elements
+/// of type T) to a Structure of Arrays, in place.  Afterwards the buffer
+/// holds `fields` contiguous arrays of `count` elements each.
+template <typename T>
+void aos_to_soa(T* data, std::size_t count, std::size_t fields,
+                const options& opts = {}) {
+  transpose(data, count, fields, storage_order::row_major, opts);
+}
+
+/// Inverse of aos_to_soa: converts a Structure of Arrays (`fields`
+/// contiguous arrays of `count` elements) back to an Array of Structures,
+/// in place.
+template <typename T>
+void soa_to_aos(T* data, std::size_t count, std::size_t fields,
+                const options& opts = {}) {
+  transpose(data, fields, count, storage_order::row_major, opts);
+}
+
+}  // namespace inplace

@@ -1,0 +1,31 @@
+#pragma once
+// Address-stream generators for the six bandwidth curves of Figures 8-9:
+// {unit-stride, random} x {direct, vector, c2r} Array-of-Structures
+// access.  Each generator simulates the warp memory instructions the
+// corresponding code would issue and feeds them to the coalescer.
+
+#include <cstdint>
+
+#include "memsim/coalescer.hpp"
+#include "util/rng.hpp"
+
+namespace inplace::memsim {
+
+/// Workload description for one simulated access sweep.
+struct pattern_params {
+  std::uint64_t struct_bytes = 16;   ///< sizeof one structure
+  std::uint64_t elem_bytes = 4;      ///< scalar word moved per lane per op
+  std::uint64_t vector_bytes = 16;   ///< native vector ld/st width (128-bit)
+  std::uint64_t num_structs = 1 << 14;
+  memory_params mem{};
+};
+
+/// Traffic for the simulated pattern (implemented in bandwidth_model.cpp).
+traffic unit_stride_direct(const pattern_params& p);
+traffic unit_stride_vector(const pattern_params& p);
+traffic unit_stride_c2r(const pattern_params& p);
+traffic random_direct(const pattern_params& p, util::xoshiro256& rng);
+traffic random_vector(const pattern_params& p, util::xoshiro256& rng);
+traffic random_c2r(const pattern_params& p, util::xoshiro256& rng);
+
+}  // namespace inplace::memsim

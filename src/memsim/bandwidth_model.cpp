@@ -1,0 +1,216 @@
+#include "memsim/bandwidth_model.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace inplace::memsim {
+
+namespace {
+
+/// Lanes' byte addresses for one warp instruction, reused across calls.
+using addr_list = std::vector<std::uint64_t>;
+
+/// Simulates element-wise ("direct", compiler-generated) AoS access: for
+/// each element e of the structure, one warp instruction in which lane t
+/// touches struct_base(t) + e*elem_bytes — a stride of struct_bytes
+/// between lanes.
+traffic simulate_direct(const pattern_params& p,
+                        const std::vector<std::uint64_t>& struct_bases) {
+  const coalescer co(p.mem);
+  const unsigned w = p.mem.warp_width;
+  const std::uint64_t elems = p.struct_bytes / p.elem_bytes;
+  traffic total;
+  total.segment_bytes = p.mem.segment_bytes;
+  addr_list addrs;
+  for (std::uint64_t first = 0; first < struct_bases.size(); first += w) {
+    const std::uint64_t lanes =
+        std::min<std::uint64_t>(w, struct_bases.size() - first);
+    for (std::uint64_t e = 0; e < elems; ++e) {
+      addrs.clear();
+      for (std::uint64_t t = 0; t < lanes; ++t) {
+        addrs.push_back(struct_bases[first + t] + e * p.elem_bytes);
+      }
+      total += co.instruction(addrs, p.elem_bytes);
+    }
+  }
+  return total;
+}
+
+/// Simulates native vector loads/stores: like direct, but each lane moves
+/// vector_bytes per instruction (the K20c's 128-bit accesses), with a
+/// scalar tail when struct_bytes is not a multiple.
+traffic simulate_vector(const pattern_params& p,
+                        const std::vector<std::uint64_t>& struct_bases) {
+  const coalescer co(p.mem);
+  const unsigned w = p.mem.warp_width;
+  traffic total;
+  total.segment_bytes = p.mem.segment_bytes;
+  addr_list addrs;
+  const std::uint64_t vec = p.vector_bytes;
+  const std::uint64_t full = p.struct_bytes / vec * vec;
+  for (std::uint64_t first = 0; first < struct_bases.size(); first += w) {
+    const std::uint64_t lanes =
+        std::min<std::uint64_t>(w, struct_bases.size() - first);
+    for (std::uint64_t off = 0; off < full; off += vec) {
+      addrs.clear();
+      for (std::uint64_t t = 0; t < lanes; ++t) {
+        addrs.push_back(struct_bases[first + t] + off);
+      }
+      total += co.instruction(addrs, vec);
+    }
+    for (std::uint64_t off = full; off < p.struct_bytes;
+         off += p.elem_bytes) {
+      addrs.clear();
+      for (std::uint64_t t = 0; t < lanes; ++t) {
+        addrs.push_back(struct_bases[first + t] + off);
+      }
+      total += co.instruction(addrs, p.elem_bytes);
+    }
+  }
+  return total;
+}
+
+/// Simulates the paper's cooperative access: the warp covers the same
+/// structures with consecutive-element instructions (lane t reads element
+/// chunk*width + t of the warp's combined tile for unit stride, or of one
+/// structure at a time for random indices), then transposes in registers
+/// — register traffic is free as far as the memory system is concerned.
+traffic simulate_c2r_unit(const pattern_params& p,
+                          std::uint64_t num_structs) {
+  const coalescer co(p.mem);
+  const unsigned w = p.mem.warp_width;
+  traffic total;
+  total.segment_bytes = p.mem.segment_bytes;
+  addr_list addrs;
+  const std::uint64_t tile_bytes = p.struct_bytes * w;
+  for (std::uint64_t first = 0; first < num_structs; first += w) {
+    const std::uint64_t lanes = std::min<std::uint64_t>(w, num_structs - first);
+    const std::uint64_t base = first * p.struct_bytes;
+    const std::uint64_t bytes = lanes == w ? tile_bytes
+                                           : lanes * p.struct_bytes;
+    for (std::uint64_t off = 0; off < bytes; off += w * p.elem_bytes) {
+      addrs.clear();
+      for (std::uint64_t t = 0; t < w && off + t * p.elem_bytes < bytes;
+           ++t) {
+        addrs.push_back(base + off + t * p.elem_bytes);
+      }
+      total += co.instruction(addrs, p.elem_bytes);
+    }
+  }
+  return total;
+}
+
+traffic simulate_c2r_random(const pattern_params& p,
+                            const std::vector<std::uint64_t>& struct_bases) {
+  const coalescer co(p.mem);
+  const unsigned w = p.mem.warp_width;
+  traffic total;
+  total.segment_bytes = p.mem.segment_bytes;
+  addr_list addrs;
+  // Random indices defeat inter-structure coalescing, but the warp still
+  // reads each structure with consecutive lanes (indices are exchanged
+  // with shuffles, Section 6.2), touching each structure's segments once.
+  for (const std::uint64_t base : struct_bases) {
+    for (std::uint64_t off = 0; off < p.struct_bytes;
+         off += w * p.elem_bytes) {
+      addrs.clear();
+      for (std::uint64_t t = 0;
+           t < w && off + t * p.elem_bytes < p.struct_bytes; ++t) {
+        addrs.push_back(base + off + t * p.elem_bytes);
+      }
+      total += co.instruction(addrs, p.elem_bytes);
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> unit_stride_bases(const pattern_params& p) {
+  std::vector<std::uint64_t> bases(p.num_structs);
+  for (std::uint64_t k = 0; k < p.num_structs; ++k) {
+    bases[k] = k * p.struct_bytes;
+  }
+  return bases;
+}
+
+std::vector<std::uint64_t> random_bases(const pattern_params& p,
+                                        util::xoshiro256& rng) {
+  std::vector<std::uint64_t> bases(p.num_structs);
+  for (auto& b : bases) {
+    b = rng.uniform(0, p.num_structs) * p.struct_bytes;
+  }
+  return bases;
+}
+
+}  // namespace
+
+traffic unit_stride_direct(const pattern_params& p) {
+  return simulate_direct(p, unit_stride_bases(p));
+}
+
+traffic unit_stride_vector(const pattern_params& p) {
+  return simulate_vector(p, unit_stride_bases(p));
+}
+
+traffic unit_stride_c2r(const pattern_params& p) {
+  return simulate_c2r_unit(p, p.num_structs);
+}
+
+traffic random_direct(const pattern_params& p, util::xoshiro256& rng) {
+  return simulate_direct(p, random_bases(p, rng));
+}
+
+traffic random_vector(const pattern_params& p, util::xoshiro256& rng) {
+  return simulate_vector(p, random_bases(p, rng));
+}
+
+traffic random_c2r(const pattern_params& p, util::xoshiro256& rng) {
+  return simulate_c2r_random(p, random_bases(p, rng));
+}
+
+std::string to_string(access_kind k) {
+  switch (k) {
+    case access_kind::direct:
+      return "Direct";
+    case access_kind::vector:
+      return "Vector";
+    case access_kind::c2r:
+      return "C2R";
+  }
+  return "?";
+}
+
+std::string to_string(locality l) {
+  return l == locality::unit_stride ? "unit-stride" : "random";
+}
+
+std::vector<bandwidth_point> sweep_struct_sizes(
+    access_kind kind, locality loc,
+    const std::vector<std::uint64_t>& struct_sizes,
+    const pattern_params& base) {
+  std::vector<bandwidth_point> curve;
+  curve.reserve(struct_sizes.size());
+  for (const std::uint64_t sb : struct_sizes) {
+    if (sb % base.elem_bytes != 0) {
+      throw std::invalid_argument(
+          "sweep_struct_sizes: struct size must be a multiple of the "
+          "element size");
+    }
+    pattern_params p = base;
+    p.struct_bytes = sb;
+    util::xoshiro256 rng(sb * 2654435761u + 12345);
+    traffic t;
+    if (loc == locality::unit_stride) {
+      t = kind == access_kind::direct   ? unit_stride_direct(p)
+          : kind == access_kind::vector ? unit_stride_vector(p)
+                                        : unit_stride_c2r(p);
+    } else {
+      t = kind == access_kind::direct   ? random_direct(p, rng)
+          : kind == access_kind::vector ? random_vector(p, rng)
+                                        : random_c2r(p, rng);
+    }
+    curve.push_back({sb, t.predicted_gbs(p.mem.peak_gbs), t.efficiency()});
+  }
+  return curve;
+}
+
+}  // namespace inplace::memsim

@@ -1,0 +1,37 @@
+#pragma once
+// Bandwidth roofline on top of the coalescer: predicted GB/s is the
+// device's peak achievable bandwidth scaled by bus efficiency (useful
+// bytes / transported bytes).  This reproduces the *shape* of Figures 8-9
+// analytically; the companion CPU kernels in simd/cpu_kernels.hpp provide
+// measured counterparts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/access_patterns.hpp"
+#include "memsim/coalescer.hpp"
+
+namespace inplace::memsim {
+
+/// One point of a bandwidth-vs-struct-size curve.
+struct bandwidth_point {
+  std::uint64_t struct_bytes = 0;
+  double gbs = 0.0;
+  double efficiency = 0.0;
+};
+
+enum class access_kind { direct, vector, c2r };
+enum class locality { unit_stride, random };
+
+[[nodiscard]] std::string to_string(access_kind k);
+[[nodiscard]] std::string to_string(locality l);
+
+/// Sweeps struct sizes (in bytes, multiples of elem_bytes) for one access
+/// kind/locality pair and returns the predicted curve.
+[[nodiscard]] std::vector<bandwidth_point> sweep_struct_sizes(
+    access_kind kind, locality loc,
+    const std::vector<std::uint64_t>& struct_sizes,
+    const pattern_params& base);
+
+}  // namespace inplace::memsim

@@ -1,0 +1,53 @@
+#include "memsim/coalescer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace inplace::memsim {
+
+double traffic::efficiency() const {
+  const std::uint64_t transported = transported_bytes();
+  if (transported == 0) {
+    return 0.0;
+  }
+  const double e =
+      static_cast<double>(useful_bytes) / static_cast<double>(transported);
+  return e > 1.0 ? 1.0 : e;
+}
+
+traffic& traffic::operator+=(const traffic& other) {
+  useful_bytes += other.useful_bytes;
+  transactions += other.transactions;
+  segment_bytes = other.segment_bytes;
+  return *this;
+}
+
+traffic coalescer::instruction(std::span<const std::uint64_t> addresses,
+                               std::uint64_t bytes_per_lane) const {
+  traffic t;
+  t.segment_bytes = params_.segment_bytes;
+  if (addresses.empty() || bytes_per_lane == 0) {
+    return t;
+  }
+  t.useful_bytes = addresses.size() * bytes_per_lane;
+
+  // Collect the segment index range each lane touches, then count the
+  // distinct segments across the warp.
+  std::vector<std::uint64_t> segments;
+  segments.reserve(addresses.size() * 2);
+  const std::uint64_t g = params_.segment_bytes;
+  for (const std::uint64_t addr : addresses) {
+    const std::uint64_t first = addr / g;
+    const std::uint64_t last = (addr + bytes_per_lane - 1) / g;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      segments.push_back(s);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  t.transactions = segments.size();
+  return t;
+}
+
+}  // namespace inplace::memsim

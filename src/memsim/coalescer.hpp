@@ -1,0 +1,60 @@
+#pragma once
+// Memory-system model for the Figure 8/9 reproduction: a Kepler-class
+// coalescer that groups the per-lane byte addresses of one warp memory
+// instruction into distinct fixed-size segment transactions.  Global
+// loads/stores are modelled as uncached between instructions (as on the
+// K20c, where global accesses bypass L1), so every instruction pays for
+// every segment it touches — which is exactly why compiler-generated
+// strided AoS access collapses and the in-register transpose reaches peak.
+
+#include <cstdint>
+#include <span>
+
+namespace inplace::memsim {
+
+/// Device memory parameters.  Defaults approximate the NVIDIA Tesla K20c
+/// used in the paper: 32-lane warps, 128-byte transactions, and its
+/// ~180 GB/s achievable copy bandwidth.
+struct memory_params {
+  std::uint64_t segment_bytes = 128;
+  unsigned warp_width = 32;
+  double peak_gbs = 180.0;
+};
+
+/// Accumulated traffic of a simulated access stream.
+struct traffic {
+  std::uint64_t useful_bytes = 0;   ///< bytes the program asked for
+  std::uint64_t transactions = 0;   ///< segment transfers performed
+  std::uint64_t segment_bytes = 128;
+
+  [[nodiscard]] std::uint64_t transported_bytes() const {
+    return transactions * segment_bytes;
+  }
+  /// Fraction of transported bytes that were useful (<= 1).
+  [[nodiscard]] double efficiency() const;
+  /// Predicted sustained bandwidth: peak scaled by bus efficiency.
+  [[nodiscard]] double predicted_gbs(double peak_gbs) const {
+    return peak_gbs * efficiency();
+  }
+
+  traffic& operator+=(const traffic& other);
+};
+
+/// Stateless coalescing logic.
+class coalescer {
+ public:
+  explicit coalescer(const memory_params& params) : params_(params) {}
+
+  [[nodiscard]] const memory_params& params() const { return params_; }
+
+  /// Accounts one warp memory instruction: every active lane accesses
+  /// `bytes_per_lane` bytes at its address; distinct touched segments
+  /// each cost one transaction.
+  [[nodiscard]] traffic instruction(std::span<const std::uint64_t> addresses,
+                                    std::uint64_t bytes_per_lane) const;
+
+ private:
+  memory_params params_;
+};
+
+}  // namespace inplace::memsim

@@ -1,0 +1,90 @@
+#pragma once
+// Analytic GPU execution model: predicts end-to-end in-place transpose
+// throughput on a Kepler-class device by composing per-pass traffic and
+// arithmetic models.  This is the simulation substrate standing in for
+// the paper's Tesla K20c in Figures 4-6 / Table 2 (DESIGN.md §2): each
+// engine pass is classified by its memory-access pattern (streaming,
+// sub-row granular, or element-scattered), its transported bytes follow
+// the same coalescing arithmetic as memsim/coalescer.hpp in closed form,
+// and pass time is the max of the memory time and the index-arithmetic
+// time (memory-bound passes hide their arithmetic, compute-bound passes
+// do not — which is exactly why the paper needs Section 4.4's strength
+// reduction).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace inplace::memsim {
+
+/// Device parameters; defaults approximate the Tesla K20c.
+struct device_params {
+  double achievable_bandwidth_gbs = 180.0;  ///< measured copy bandwidth
+  std::uint64_t streaming_segment_bytes = 128;  ///< coalesced transaction
+  std::uint64_t scattered_segment_bytes = 32;   ///< uncached gather granule
+  double clock_ghz = 0.705;
+  unsigned sm_count = 13;
+  /// Index-arithmetic throughput: warp-instructions per cycle per SM
+  /// times lanes — effective scalar integer ops per cycle per SM.
+  double int_ops_per_cycle_per_sm = 96.0;
+  /// Shared-memory capacity for fully on-chip row shuffles: rows at most
+  /// this long are gathered entirely on chip (the fast band at small n in
+  /// Figure 4).
+  std::uint64_t smem_row_bytes = 16 * 1024;
+  /// Register-file capacity for single-pass row shuffles (Section 4.5
+  /// reports rows up to 29440 64-bit elements ≈ 235 KB); rows beyond it
+  /// pay a global-temporary round trip.
+  std::uint64_t onchip_bytes_per_sm = 235 * 1024;
+};
+
+/// One modelled pass over the array.
+struct pass_model {
+  std::string name;
+  double read_bytes = 0;        ///< useful bytes read
+  double write_bytes = 0;       ///< useful bytes written
+  double read_efficiency = 1;   ///< useful/transported on the read side
+  double write_efficiency = 1;  ///< useful/transported on the write side
+  double index_ops_per_element = 0;
+  double seconds = 0;           ///< filled in by the model
+  bool memory_bound = true;
+};
+
+/// Prediction for one transposition.
+struct transpose_prediction {
+  std::vector<pass_model> passes;
+  double seconds = 0;
+  double throughput_gbs = 0;  ///< Eq. 37: 2*m*n*s / time
+};
+
+/// Predicts the decomposition's engine (pre-rotate + row shuffle + fused
+/// column shuffle) for an m x n array of elem_size-byte elements.
+transpose_prediction predict_c2r(std::uint64_t m, std::uint64_t n,
+                                 std::uint64_t elem_size,
+                                 const device_params& dev = {});
+
+/// Predicts the R2C form (mirror passes).
+transpose_prediction predict_r2c(std::uint64_t m, std::uint64_t n,
+                                 std::uint64_t elem_size,
+                                 const device_params& dev = {});
+
+/// Predicts the Section 5.2 heuristic (C2R when m > n, else R2C with
+/// swapped extents) for a row-major m x n transpose.
+transpose_prediction predict_heuristic(std::uint64_t m, std::uint64_t n,
+                                       std::uint64_t elem_size,
+                                       const device_params& dev = {});
+
+/// Predicts the skinny AoS->SoA specialization (Figure 7's subject):
+/// column operations on chip, three streaming passes.
+transpose_prediction predict_skinny(std::uint64_t count,
+                                    std::uint64_t fields,
+                                    std::uint64_t elem_size,
+                                    const device_params& dev = {});
+
+/// Predicts a Sung-style tiled transpose with tiles tr x tc (degenerate
+/// tiles model the element-wise collapse of Figure 6's low tail).
+transpose_prediction predict_tiled(std::uint64_t m, std::uint64_t n,
+                                   std::uint64_t tr, std::uint64_t tc,
+                                   std::uint64_t elem_size,
+                                   const device_params& dev = {});
+
+}  // namespace inplace::memsim

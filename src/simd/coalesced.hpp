@@ -1,0 +1,163 @@
+#pragma once
+// Figure 10's high-level interface: a pointer wrapper whose dereferences
+// go through the in-register transpose, so Arrays of Structures are read
+// and written with fully coalesced warp accesses and no on-chip staging
+// memory.
+//
+// On real SIMD hardware every lane executes the same code; this CPU model
+// exposes the warp-cooperative operations explicitly (load/store a batch
+// of `width` consecutive structures, or gather/scatter by index) and
+// carries the simulated warp's instruction counters so the costs of
+// Section 6.2 are observable.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "simd/register_transpose.hpp"
+#include "simd/warp.hpp"
+
+namespace inplace::simd {
+
+/// Cooperative Array-of-Structures accessor.  S must be trivially
+/// copyable with sizeof(S) a multiple of sizeof(Word); Word is the scalar
+/// moved per lane per instruction (a 32-bit register on the K20c).
+template <typename S, typename Word = std::uint32_t>
+class coalesced_ptr {
+  static_assert(std::is_trivially_copyable_v<S>,
+                "coalesced_ptr requires a trivially copyable structure");
+  static_assert(sizeof(S) % sizeof(Word) == 0,
+                "structure size must be a multiple of the word size");
+
+ public:
+  static constexpr unsigned words_per_struct = sizeof(S) / sizeof(Word);
+
+  explicit coalesced_ptr(S* data, unsigned width = 32)
+      : data_(data),
+        width_(width),
+        math_(words_per_struct, width),
+        warp_(width, words_per_struct) {
+    if (width == 0) {
+      throw error("coalesced_ptr: warp width must be positive");
+    }
+  }
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] const warp_counters& counters() const {
+    return warp_.counters();
+  }
+
+  /// Loads `width` consecutive structures starting at `first` with
+  /// coalesced reads + an in-register R2C transpose (Figure 10's
+  /// `T loaded = *c_ptr`).  out.size() must equal width().
+  void load_batch(std::size_t first, std::span<S> out) {
+    if (out.size() != width_) {
+      throw error("coalesced_ptr::load_batch: out span must be warp-sized");
+    }
+    warp_load_structs(warp_, math_,
+                      reinterpret_cast<const Word*>(data_ + first));
+    for (unsigned t = 0; t < width_; ++t) {
+      Word words[words_per_struct];
+      for (unsigned r = 0; r < words_per_struct; ++r) {
+        words[r] = warp_.reg(r, t);
+      }
+      std::memcpy(&out[t], words, sizeof(S));
+    }
+  }
+
+  /// Stores `width` consecutive structures starting at `first` via an
+  /// in-register C2R transpose + coalesced writes (Figure 10's
+  /// `*c_ptr = value`).
+  void store_batch(std::size_t first, std::span<const S> in) {
+    if (in.size() != width_) {
+      throw error("coalesced_ptr::store_batch: in span must be warp-sized");
+    }
+    for (unsigned t = 0; t < width_; ++t) {
+      Word words[words_per_struct];
+      std::memcpy(words, &in[t], sizeof(S));
+      for (unsigned r = 0; r < words_per_struct; ++r) {
+        warp_.reg(r, t) = words[r];
+      }
+    }
+    warp_store_structs(warp_, math_, reinterpret_cast<Word*>(data_ + first));
+  }
+
+  /// Applies `fn` to every structure in [first, first + count) through
+  /// warp-cooperative batches, handling the ragged tail with predicated
+  /// lanes (inactive lanes replay their own data, as masked-off SIMD
+  /// lanes do).  This is the loop a Figure 10 kernel body amounts to.
+  template <typename Fn>
+  void for_each(std::size_t first, std::size_t count, Fn fn) {
+    std::vector<S> batch(width_);
+    std::size_t pos = first;
+    const std::size_t end = first + count;
+    while (pos < end) {
+      const std::size_t active = std::min<std::size_t>(width_, end - pos);
+      if (active == width_) {
+        load_batch(pos, batch);
+        for (auto& s : batch) {
+          fn(s);
+        }
+        store_batch(pos, batch);
+      } else {
+        // Tail: a full-width transposed access would read past the array
+        // end, so the final partial warp falls back to per-structure
+        // access (at most one such warp per call).
+        for (std::size_t t = 0; t < active; ++t) {
+          S s;
+          std::memcpy(&s, data_ + pos + t, sizeof(S));
+          fn(s);
+          std::memcpy(data_ + pos + t, &s, sizeof(S));
+        }
+        auto& c = const_cast<warp_counters&>(warp_.counters());
+        c.memory_ops += 2 * words_per_struct;
+      }
+      pos += active;
+    }
+  }
+
+  /// Cooperative random gather: structure `idx[t]` is read with
+  /// consecutive-lane accesses (one segment sweep per structure) and
+  /// delivered to slot t.  Indices are exchanged between lanes with
+  /// shuffles on real hardware; the model charges one shfl per register.
+  void gather(std::span<const std::size_t> idx, std::span<S> out) {
+    if (idx.size() != out.size()) {
+      throw error("coalesced_ptr::gather: size mismatch");
+    }
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      std::memcpy(&out[t], data_ + idx[t], sizeof(S));
+    }
+    charge_cooperative(idx.size());
+  }
+
+  /// Cooperative random scatter — inverse of gather().
+  void scatter(std::span<const std::size_t> idx, std::span<const S> in) {
+    if (idx.size() != in.size()) {
+      throw error("coalesced_ptr::scatter: size mismatch");
+    }
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      std::memcpy(data_ + idx[t], &in[t], sizeof(S));
+    }
+    charge_cooperative(idx.size());
+  }
+
+ private:
+  void charge_cooperative(std::size_t structs) {
+    // Each warp-sized group of structures costs one cooperative segment
+    // read per structure plus the redistribution shuffles.
+    const std::size_t warps = (structs + width_ - 1) / width_;
+    auto& c = const_cast<warp_counters&>(warp_.counters());
+    c.memory_ops += structs * ((words_per_struct + width_ - 1) / width_);
+    c.shuffles += warps * words_per_struct;
+  }
+
+  S* data_;
+  unsigned width_;
+  transpose_math<fast_divmod> math_;
+  warp<Word> warp_;
+};
+
+}  // namespace inplace::simd

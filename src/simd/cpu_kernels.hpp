@@ -1,0 +1,142 @@
+#pragma once
+// Real, measurable CPU kernels mirroring the access patterns of Figures
+// 8-9.  A CPU has no warp coalescer, but the same dichotomy exists:
+// strided element-wise traversal of an Array of Structures wastes cache
+// -line bandwidth exactly as uncoalesced warp accesses waste segment
+// bandwidth, while the transpose-staged form streams contiguously.
+//
+//   * "direct"  kernels traverse field-major: for each field, touch that
+//     field of every structure — a stride of struct-size between touches
+//     (the compiler-generated per-element pattern of the paper).
+//   * "staged" kernels (the C2R analogue) move tile-sized groups of
+//     structures through an L1-resident staging buffer, so every memory
+//     touch is contiguous.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace inplace::simd {
+
+/// SoA -> AoS copy ("store" direction, Fig. 8a), field-major: sequential
+/// reads, strided writes.
+template <typename T>
+void soa_to_aos_direct(T* aos, const T* soa, std::size_t count,
+                       std::size_t fields) {
+  for (std::size_t f = 0; f < fields; ++f) {
+    const T* src = soa + f * count;
+    for (std::size_t s = 0; s < count; ++s) {
+      aos[s * fields + f] = src[s];
+    }
+  }
+}
+
+/// SoA -> AoS copy, staged through an L1 tile of `tile` structures:
+/// strided traffic is confined to the cache-resident tile, all memory
+/// traffic is contiguous.
+template <typename T>
+void soa_to_aos_staged(T* aos, const T* soa, std::size_t count,
+                       std::size_t fields, std::size_t tile = 256) {
+  std::vector<T> stage(tile * fields);
+  for (std::size_t s0 = 0; s0 < count; s0 += tile) {
+    const std::size_t w = std::min(tile, count - s0);
+    for (std::size_t f = 0; f < fields; ++f) {
+      const T* src = soa + f * count + s0;
+      for (std::size_t s = 0; s < w; ++s) {
+        stage[s * fields + f] = src[s];
+      }
+    }
+    T* dst = aos + s0 * fields;
+    for (std::size_t l = 0; l < w * fields; ++l) {
+      dst[l] = stage[l];
+    }
+  }
+}
+
+/// AoS -> SoA copy ("load" direction): strided reads, sequential writes.
+template <typename T>
+void aos_to_soa_direct(T* soa, const T* aos, std::size_t count,
+                       std::size_t fields) {
+  for (std::size_t f = 0; f < fields; ++f) {
+    T* dst = soa + f * count;
+    for (std::size_t s = 0; s < count; ++s) {
+      dst[s] = aos[s * fields + f];
+    }
+  }
+}
+
+/// AoS -> SoA copy staged through an L1 tile.
+template <typename T>
+void aos_to_soa_staged(T* soa, const T* aos, std::size_t count,
+                       std::size_t fields, std::size_t tile = 256) {
+  std::vector<T> stage(tile * fields);
+  for (std::size_t s0 = 0; s0 < count; s0 += tile) {
+    const std::size_t w = std::min(tile, count - s0);
+    const T* src = aos + s0 * fields;
+    for (std::size_t l = 0; l < w * fields; ++l) {
+      stage[l] = src[l];
+    }
+    for (std::size_t f = 0; f < fields; ++f) {
+      T* dst = soa + f * count + s0;
+      for (std::size_t s = 0; s < w; ++s) {
+        dst[s] = stage[s * fields + f];
+      }
+    }
+  }
+}
+
+/// Random gather of structures (Fig. 9b), field-major ("direct"): field f
+/// of every requested structure before field f+1 — each structure's cache
+/// lines are touched `fields` times, far apart.
+template <typename T>
+void gather_structs_direct(T* out, const T* aos,
+                           const std::uint64_t* idx, std::size_t count,
+                           std::size_t fields) {
+  for (std::size_t f = 0; f < fields; ++f) {
+    for (std::size_t k = 0; k < count; ++k) {
+      out[k * fields + f] = aos[idx[k] * fields + f];
+    }
+  }
+}
+
+/// Random gather, struct-major (the cooperative/C2R analogue): each
+/// structure's lines are touched once, contiguously.
+template <typename T>
+void gather_structs_coalesced(T* out, const T* aos,
+                              const std::uint64_t* idx, std::size_t count,
+                              std::size_t fields) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const T* src = aos + idx[k] * fields;
+    T* dst = out + k * fields;
+    for (std::size_t f = 0; f < fields; ++f) {
+      dst[f] = src[f];
+    }
+  }
+}
+
+/// Random scatter of structures (Fig. 9a), field-major.
+template <typename T>
+void scatter_structs_direct(T* aos, const T* in, const std::uint64_t* idx,
+                            std::size_t count, std::size_t fields) {
+  for (std::size_t f = 0; f < fields; ++f) {
+    for (std::size_t k = 0; k < count; ++k) {
+      aos[idx[k] * fields + f] = in[k * fields + f];
+    }
+  }
+}
+
+/// Random scatter, struct-major (coalesced analogue).
+template <typename T>
+void scatter_structs_coalesced(T* aos, const T* in,
+                               const std::uint64_t* idx, std::size_t count,
+                               std::size_t fields) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const T* src = in + k * fields;
+    T* dst = aos + idx[k] * fields;
+    for (std::size_t f = 0; f < fields; ++f) {
+      dst[f] = src[f];
+    }
+  }
+}
+
+}  // namespace inplace::simd

@@ -1,0 +1,75 @@
+#pragma once
+// Section 6.2: the in-register instantiation of the decomposition.  A warp
+// holding an m x width tile transposes it with
+//   * shfl row shuffles          (row operations),
+//   * dynamic barrel rotations   (per-lane column rotations), and
+//   * static register renames    (the uniform row permutation q),
+// with no on-chip memory beyond the register file — the property that
+// makes coalesced_ptr-style AoS access possible (Figure 10).
+
+#include "core/equations.hpp"
+#include "simd/warp.hpp"
+
+namespace inplace::simd {
+
+/// In-register C2R transposition of the warp's m x width tile, where m is
+/// the register count per lane.  Afterwards the register file holds the
+/// row-major linearization of the transposed tile.
+template <typename T, typename Math>
+void c2r_registers(warp<T>& w, const Math& mm) {
+  const unsigned m = w.regs_per_lane();
+  if (mm.needs_prerotate()) {
+    w.rotate_registers_dynamic(
+        [&](unsigned lane) { return mm.prerotate_offset(lane); });
+  }
+  for (unsigned r = 0; r < m; ++r) {
+    w.shfl(r, [&](unsigned lane) { return mm.d_prime_inv(r, lane); });
+  }
+  w.rotate_registers_dynamic(
+      [&](unsigned lane) { return mm.p_offset(lane); });
+  w.permute_registers_static([&](unsigned r) { return mm.q(r); });
+}
+
+/// In-register R2C transposition — the inverse of c2r_registers.
+template <typename T, typename Math>
+void r2c_registers(warp<T>& w, const Math& mm) {
+  const unsigned m = w.regs_per_lane();
+  w.permute_registers_static([&](unsigned r) { return mm.q_inv(r); });
+  w.rotate_registers_dynamic(
+      [&](unsigned lane) { return mm.p_inv_offset(lane); });
+  for (unsigned r = 0; r < m; ++r) {
+    w.shfl(r, [&](unsigned lane) { return mm.d_prime(r, lane); });
+  }
+  if (mm.needs_prerotate()) {
+    w.rotate_registers_dynamic(
+        [&](unsigned lane) { return mm.prerotate_inv_offset(lane); });
+  }
+}
+
+/// Builds the index math for a warp tile: m = registers per lane (the
+/// structure size), n = warp width.
+template <typename Math = transpose_math<fast_divmod>>
+[[nodiscard]] Math warp_tile_math(unsigned regs_per_lane, unsigned width) {
+  return Math(regs_per_lane, width);
+}
+
+/// Cooperative AoS load (Figure 10's "load and R2C transpose"): the warp
+/// reads `width` consecutive structures of `regs` elements with fully
+/// coalesced accesses, then transposes in registers so lane t holds
+/// structure t in its registers.
+template <typename T, typename Math>
+void warp_load_structs(warp<T>& w, const Math& mm, const T* aos) {
+  w.load_coalesced(aos);
+  r2c_registers(w, mm);
+}
+
+/// Cooperative AoS store (Figure 10's "C2R transpose and store"): inverse
+/// of warp_load_structs.  Lane t's registers (structure t) are transposed
+/// back and written with coalesced accesses.
+template <typename T, typename Math>
+void warp_store_structs(warp<T>& w, const Math& mm, T* aos) {
+  c2r_registers(w, mm);
+  w.store_coalesced(aos);
+}
+
+}  // namespace inplace::simd

@@ -1,0 +1,194 @@
+#pragma once
+// Compile-time instantiation of the Section 6.2 register transpose, in
+// the style of the authors' Trove library: for a tile whose extents
+// (M registers per lane, W lanes) are template parameters, every index
+// of every permutation is a constexpr table, so an optimizer sees only
+// constant shuffles, constant-count select chains and free renames —
+// "the task of computing indices can be simplified through careful
+// strength reduction and static precomputation" (Section 6.2.4).
+//
+// The tile is held as std::array<std::array<T, W>, M> (row r = register
+// r across lanes).  c2r/r2c produce exactly the same permutations as
+// the runtime warp model; tests assert equality.
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+
+namespace inplace::simd {
+
+/// Compile-time constants and index tables for an M x W register tile.
+template <unsigned M, unsigned W>
+struct static_tile_math {
+  static_assert(M >= 1 && W >= 1);
+  static constexpr std::uint64_t c = std::gcd(M, W);
+  static constexpr std::uint64_t a = M / c;
+  static constexpr std::uint64_t b = W / c;
+
+  /// Modular multiplicative inverse by brute force — runs at compile
+  /// time on tiny operands.
+  static constexpr std::uint64_t mmi_ct(std::uint64_t x, std::uint64_t y) {
+    if (y == 1) {
+      return 0;
+    }
+    for (std::uint64_t k = 1; k < y; ++k) {
+      if (x % y * k % y == 1) {
+        return k;
+      }
+    }
+    return 0;
+  }
+  static constexpr std::uint64_t a_inv = mmi_ct(a, b);
+
+  /// Eq. 23 per lane.
+  static constexpr std::array<std::uint8_t, W> prerotate = [] {
+    std::array<std::uint8_t, W> t{};
+    for (unsigned j = 0; j < W; ++j) {
+      t[j] = static_cast<std::uint8_t>(j / b);
+    }
+    return t;
+  }();
+
+  /// Eq. 31 per (register, lane): source lane of the row shuffle.
+  static constexpr std::array<std::array<std::uint8_t, W>, M> shuffle_src =
+      [] {
+        std::array<std::array<std::uint8_t, W>, M> t{};
+        for (unsigned i = 0; i < M; ++i) {
+          for (unsigned j = 0; j < W; ++j) {
+            const std::uint64_t base = j + std::uint64_t{i} * (W - 1);
+            const std::uint64_t f =
+                (i + c <= M + j % c) ? base : base + M;
+            t[i][j] = static_cast<std::uint8_t>(
+                (a_inv * (f / c % b)) % b + f % c * b);
+          }
+        }
+        return t;
+      }();
+
+  /// Eq. 32 rotation amount per lane.
+  static constexpr std::array<std::uint8_t, W> p_rot = [] {
+    std::array<std::uint8_t, W> t{};
+    for (unsigned j = 0; j < W; ++j) {
+      t[j] = static_cast<std::uint8_t>(j % M);
+    }
+    return t;
+  }();
+
+  /// Eq. 33 register rename table.
+  static constexpr std::array<std::uint8_t, M> q_perm = [] {
+    std::array<std::uint8_t, M> t{};
+    for (unsigned i = 0; i < M; ++i) {
+      t[i] = static_cast<std::uint8_t>(
+          (std::uint64_t{i} * W - i / a) % M);
+    }
+    return t;
+  }();
+
+  // Inverse tables for R2C.
+  static constexpr std::uint64_t b_inv = mmi_ct(b, a);
+  static constexpr std::array<std::array<std::uint8_t, W>, M>
+      shuffle_src_inv = [] {
+        // d'_i(j) directly (Eq. 24) — the R2C row shuffle gathers with it.
+        std::array<std::array<std::uint8_t, W>, M> t{};
+        for (unsigned i = 0; i < M; ++i) {
+          for (unsigned j = 0; j < W; ++j) {
+            t[i][j] = static_cast<std::uint8_t>(
+                ((i + j / b) % M + std::uint64_t{j} * M) % W);
+          }
+        }
+        return t;
+      }();
+  static constexpr std::array<std::uint8_t, M> q_inv_perm = [] {
+    std::array<std::uint8_t, M> t{};
+    for (unsigned i = 0; i < M; ++i) {
+      t[i] = static_cast<std::uint8_t>(
+          ((c - 1 + std::uint64_t{i}) / c * b_inv) % a +
+          (c - 1) * std::uint64_t{i} % c * a);
+    }
+    return t;
+  }();
+};
+
+/// An M x W tile of T held in "registers".
+template <typename T, unsigned M, unsigned W>
+using static_tile = std::array<std::array<T, W>, M>;
+
+namespace detail_static {
+
+/// Per-lane rotation by table[lane]: reg'[r] = reg[(r + amt) mod M].
+/// On SIMD hardware this is the ⌈log2 M⌉-step select chain of Section
+/// 6.2.2 (modelled and counted by warp.hpp); on a CPU a direct gather is
+/// the faster instantiation of the same permutation.
+template <typename T, unsigned M, unsigned W, typename Table>
+constexpr void rotate_lanes(static_tile<T, M, W>& tile, const Table& amount,
+                            bool invert) {
+  for (unsigned t = 0; t < W; ++t) {
+    unsigned amt = amount[t] % M;
+    if (invert && amt != 0) {
+      amt = M - amt;
+    }
+    if (amt == 0) {
+      continue;
+    }
+    T lane[M];
+    for (unsigned r = 0; r < M; ++r) {
+      lane[r] = tile[(r + amt) % M][t];
+    }
+    for (unsigned r = 0; r < M; ++r) {
+      tile[r][t] = lane[r];
+    }
+  }
+}
+
+}  // namespace detail_static
+
+/// Compile-time-indexed C2R transpose of the register tile: afterwards
+/// the tile holds the row-major linearization of the W x M transpose.
+template <typename T, unsigned M, unsigned W>
+constexpr void static_c2r(static_tile<T, M, W>& tile) {
+  using math = static_tile_math<M, W>;
+  if constexpr (math::c > 1) {
+    detail_static::rotate_lanes<T, M, W>(tile, math::prerotate, false);
+  }
+  for (unsigned r = 0; r < M; ++r) {
+    std::array<T, W> row{};
+    for (unsigned j = 0; j < W; ++j) {
+      row[j] = tile[r][math::shuffle_src[r][j]];
+    }
+    tile[r] = row;
+  }
+  detail_static::rotate_lanes<T, M, W>(tile, math::p_rot, false);
+  {
+    static_tile<T, M, W> renamed{};
+    for (unsigned r = 0; r < M; ++r) {
+      renamed[r] = tile[math::q_perm[r]];
+    }
+    tile = renamed;
+  }
+}
+
+/// Inverse of static_c2r.
+template <typename T, unsigned M, unsigned W>
+constexpr void static_r2c(static_tile<T, M, W>& tile) {
+  using math = static_tile_math<M, W>;
+  {
+    static_tile<T, M, W> renamed{};
+    for (unsigned r = 0; r < M; ++r) {
+      renamed[r] = tile[math::q_inv_perm[r]];
+    }
+    tile = renamed;
+  }
+  detail_static::rotate_lanes<T, M, W>(tile, math::p_rot, true);
+  for (unsigned r = 0; r < M; ++r) {
+    std::array<T, W> row{};
+    for (unsigned j = 0; j < W; ++j) {
+      row[j] = tile[r][math::shuffle_src_inv[r][j]];
+    }
+    tile[r] = row;
+  }
+  if constexpr (math::c > 1) {
+    detail_static::rotate_lanes<T, M, W>(tile, math::prerotate, true);
+  }
+}
+
+}  // namespace inplace::simd

@@ -1,0 +1,126 @@
+#pragma once
+// CPU instantiation of the Section 6 access strategy for out-of-place
+// layout conversion: structures are staged through compile-time register
+// tiles (static_transpose.hpp) in blocks of `lanes` structures, so every
+// memory touch is a contiguous `lanes`-wide run — the auto-vectorizable
+// analogue of the GPU's coalesced warp accesses.  Field counts are
+// dispatched to fully unrolled instantiations (1..32, the paper's AoS
+// range); larger field counts fall back to the scalar staged kernel.
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+#include "simd/cpu_kernels.hpp"
+#include "simd/static_transpose.hpp"
+
+namespace inplace::simd {
+
+inline constexpr unsigned vectorized_lanes = 16;
+inline constexpr unsigned vectorized_max_fields = 32;
+
+namespace detail_vec {
+
+template <typename T, unsigned F>
+void aos_to_soa_tile(T* soa, const T* aos, std::size_t count) {
+  constexpr unsigned w = vectorized_lanes;
+  std::size_t base = 0;
+  static_tile<T, F, w> tile;
+  for (; base + w <= count; base += w) {
+    const T* block = aos + base * F;
+    // Coalesced load: register r across lanes = w consecutive elements.
+    for (unsigned r = 0; r < F; ++r) {
+      std::memcpy(tile[r].data(), block + std::size_t{r} * w,
+                  w * sizeof(T));
+    }
+    static_r2c<T, F, w>(tile);  // lane t now holds structure base + t
+    for (unsigned f = 0; f < F; ++f) {
+      std::memcpy(soa + std::size_t{f} * count + base, tile[f].data(),
+                  w * sizeof(T));
+    }
+  }
+  for (; base < count; ++base) {  // scalar tail
+    for (unsigned f = 0; f < F; ++f) {
+      soa[std::size_t{f} * count + base] = aos[base * F + f];
+    }
+  }
+}
+
+template <typename T, unsigned F>
+void soa_to_aos_tile(T* aos, const T* soa, std::size_t count) {
+  constexpr unsigned w = vectorized_lanes;
+  std::size_t base = 0;
+  static_tile<T, F, w> tile;
+  for (; base + w <= count; base += w) {
+    for (unsigned f = 0; f < F; ++f) {
+      std::memcpy(tile[f].data(), soa + std::size_t{f} * count + base,
+                  w * sizeof(T));
+    }
+    static_c2r<T, F, w>(tile);  // back to the memory-order tile
+    T* block = aos + base * F;
+    for (unsigned r = 0; r < F; ++r) {
+      std::memcpy(block + std::size_t{r} * w, tile[r].data(),
+                  w * sizeof(T));
+    }
+  }
+  for (; base < count; ++base) {
+    for (unsigned f = 0; f < F; ++f) {
+      aos[base * F + f] = soa[std::size_t{f} * count + base];
+    }
+  }
+}
+
+template <typename T, bool ToSoa, unsigned... Fs>
+auto make_dispatch(std::integer_sequence<unsigned, Fs...>) {
+  using fn = void (*)(T*, const T*, std::size_t);
+  if constexpr (ToSoa) {
+    return std::array<fn, sizeof...(Fs)>{&aos_to_soa_tile<T, Fs + 1>...};
+  } else {
+    return std::array<fn, sizeof...(Fs)>{&soa_to_aos_tile<T, Fs + 1>...};
+  }
+}
+
+}  // namespace detail_vec
+
+/// Out-of-place AoS -> SoA conversion staged through register tiles.
+template <typename T>
+void aos_to_soa_vectorized(T* soa, const T* aos, std::size_t count,
+                           std::size_t fields) {
+  if (fields == 0 || count == 0) {
+    return;
+  }
+  if (fields == 1) {
+    std::memcpy(soa, aos, count * sizeof(T));
+    return;
+  }
+  if (fields > vectorized_max_fields) {
+    aos_to_soa_staged(soa, aos, count, fields);
+    return;
+  }
+  static const auto table = detail_vec::make_dispatch<T, true>(
+      std::make_integer_sequence<unsigned, vectorized_max_fields>{});
+  table[fields - 1](soa, aos, count);
+}
+
+/// Out-of-place SoA -> AoS conversion staged through register tiles.
+template <typename T>
+void soa_to_aos_vectorized(T* aos, const T* soa, std::size_t count,
+                           std::size_t fields) {
+  if (fields == 0 || count == 0) {
+    return;
+  }
+  if (fields == 1) {
+    std::memcpy(aos, soa, count * sizeof(T));
+    return;
+  }
+  if (fields > vectorized_max_fields) {
+    soa_to_aos_staged(aos, soa, count, fields);
+    return;
+  }
+  static const auto table = detail_vec::make_dispatch<T, false>(
+      std::make_integer_sequence<unsigned, vectorized_max_fields>{});
+  table[fields - 1](aos, soa, count);
+}
+
+}  // namespace inplace::simd

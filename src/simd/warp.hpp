@@ -1,0 +1,175 @@
+#pragma once
+// A behavioural model of a SIMD processor executing one warp in lockstep
+// (Section 6).  A warp of `width` lanes holds an m x width tile in its
+// register file: register r of lane t is element (r, t).  The model
+// provides exactly the three primitives the paper's in-register transpose
+// needs —
+//   * row shuffle        (Section 6.2.1, the hardware `shfl` instruction),
+//   * dynamic per-lane register rotation as a barrel rotator built from
+//     conditional selects (Section 6.2.2), and
+//   * static row permutation, free at the register-renaming level
+//     (Section 6.2.3)
+// — and counts the instructions each primitive costs, so the paper's
+// "⌈log2 m⌉ selects per element" claim is checkable.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace inplace::simd {
+
+/// Instruction counts for one warp, in warp-instructions (one issue for
+/// all lanes together, as on real SIMD hardware).
+struct warp_counters {
+  std::uint64_t shuffles = 0;       ///< cross-lane shfl instructions
+  std::uint64_t selects = 0;        ///< conditional-move instructions
+  std::uint64_t memory_ops = 0;     ///< warp-wide loads/stores issued
+  std::uint64_t renames = 0;        ///< static permutations (zero-cost)
+};
+
+/// One warp's register file and lockstep primitives.
+template <typename T>
+class warp {
+ public:
+  warp(unsigned width, unsigned regs_per_lane)
+      : width_(width),
+        regs_(regs_per_lane),
+        file_(static_cast<std::size_t>(width) * regs_per_lane) {
+    if (width == 0 || regs_per_lane == 0) {
+      throw std::invalid_argument("warp: width and registers must be > 0");
+    }
+  }
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] unsigned regs_per_lane() const { return regs_; }
+  [[nodiscard]] const warp_counters& counters() const { return counters_; }
+
+  /// Register r of lane t.
+  [[nodiscard]] T& reg(unsigned r, unsigned t) {
+    return file_[static_cast<std::size_t>(r) * width_ + t];
+  }
+  [[nodiscard]] const T& reg(unsigned r, unsigned t) const {
+    return file_[static_cast<std::size_t>(r) * width_ + t];
+  }
+
+  /// Row shuffle (Section 6.2.1): lane t's register r receives lane
+  /// src(t)'s register r.  One shfl warp-instruction.
+  template <typename SrcLaneFn>
+  void shfl(unsigned r, SrcLaneFn src) {
+    scratch_.resize(width_);
+    for (unsigned t = 0; t < width_; ++t) {
+      const auto s = static_cast<unsigned>(src(t));
+      if (s >= width_) {
+        throw std::out_of_range("warp::shfl: source lane out of range");
+      }
+      scratch_[t] = reg(r, s);
+    }
+    for (unsigned t = 0; t < width_; ++t) {
+      reg(r, t) = scratch_[t];
+    }
+    ++counters_.shuffles;
+  }
+
+  /// Dynamic column rotation (Section 6.2.2): lane t rotates its own
+  /// register vector by amount(t) — reg'[r] = reg[(r + amount) mod m] —
+  /// implemented branch-free as a barrel rotator: ⌈log2 m⌉ static steps,
+  /// each conditionally rotating by 2^k with per-register selects, so
+  /// divergent rotation amounts cost no divergence.
+  template <typename AmountFn>
+  void rotate_registers_dynamic(AmountFn amount) {
+    const unsigned m = regs_;
+    lane_scratch_.resize(m);
+    for (unsigned t = 0; t < width_; ++t) {
+      const auto amt = static_cast<unsigned>(amount(t)) % m;
+      for (unsigned step = 1; step < m; step <<= 1) {
+        const bool take = (amt & step) != 0;
+        // Static register indexing: every lane evaluates both operands of
+        // the select, exactly as conditional moves would.
+        for (unsigned r = 0; r < m; ++r) {
+          lane_scratch_[r] = take ? reg((r + step) % m, t) : reg(r, t);
+        }
+        for (unsigned r = 0; r < m; ++r) {
+          reg(r, t) = lane_scratch_[r];
+        }
+      }
+    }
+    // Cost model: per ⌈log2 m⌉ steps, one select per register (warp-wide).
+    for (unsigned step = 1; step < m; step <<= 1) {
+      counters_.selects += m;
+    }
+  }
+
+  /// Static row permutation (Section 6.2.3): every lane applies the same
+  /// compile-time-known gather reg'[r] = reg[perm(r)].  On real hardware
+  /// the compiler renames registers; the model charges zero instructions.
+  template <typename PermFn>
+  void permute_registers_static(PermFn perm) {
+    const unsigned m = regs_;
+    scratch_.resize(static_cast<std::size_t>(m) * width_);
+    for (unsigned r = 0; r < m; ++r) {
+      const auto s = static_cast<unsigned>(perm(r));
+      if (s >= m) {
+        throw std::out_of_range("warp::permute: register out of range");
+      }
+      for (unsigned t = 0; t < width_; ++t) {
+        scratch_[static_cast<std::size_t>(r) * width_ + t] = reg(s, t);
+      }
+    }
+    file_.assign(scratch_.begin(),
+                 scratch_.begin() +
+                     static_cast<std::size_t>(m) * width_);
+    ++counters_.renames;
+  }
+
+  /// Coalesced load: register r of lane t <- mem[r*width + t], i.e. each
+  /// warp memory instruction reads `width` consecutive elements.
+  void load_coalesced(const T* mem) {
+    for (unsigned r = 0; r < regs_; ++r) {
+      for (unsigned t = 0; t < width_; ++t) {
+        reg(r, t) = mem[static_cast<std::size_t>(r) * width_ + t];
+      }
+      ++counters_.memory_ops;
+    }
+  }
+
+  /// Coalesced store: mem[r*width + t] <- register r of lane t.
+  void store_coalesced(T* mem) const {
+    for (unsigned r = 0; r < regs_; ++r) {
+      for (unsigned t = 0; t < width_; ++t) {
+        mem[static_cast<std::size_t>(r) * width_ + t] = reg(r, t);
+      }
+      ++counters_.memory_ops;
+    }
+  }
+
+  /// Direct (compiler-generated) strided load: lane t reads its own
+  /// structure's element r at mem[t*regs + r] — the access pattern the
+  /// paper's technique replaces.
+  void load_direct(const T* mem) {
+    for (unsigned r = 0; r < regs_; ++r) {
+      for (unsigned t = 0; t < width_; ++t) {
+        reg(r, t) = mem[static_cast<std::size_t>(t) * regs_ + r];
+      }
+      ++counters_.memory_ops;
+    }
+  }
+
+  void store_direct(T* mem) const {
+    for (unsigned r = 0; r < regs_; ++r) {
+      for (unsigned t = 0; t < width_; ++t) {
+        mem[static_cast<std::size_t>(t) * regs_ + r] = reg(r, t);
+      }
+      ++counters_.memory_ops;
+    }
+  }
+
+ private:
+  unsigned width_;
+  unsigned regs_;
+  std::vector<T> file_;
+  std::vector<T> scratch_;
+  std::vector<T> lane_scratch_;
+  mutable warp_counters counters_;
+};
+
+}  // namespace inplace::simd

@@ -1,0 +1,128 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace inplace::util {
+
+namespace {
+
+constexpr const char kShades[] = " .:-=+*#%@";
+constexpr std::size_t kShadeCount = sizeof(kShades) - 1;
+
+constexpr const char kMarkers[] = "ox+*sd^v";
+
+}  // namespace
+
+std::string heatmap(const std::vector<double>& grid, std::size_t rows,
+                    std::size_t cols, const std::string& title) {
+  if (grid.size() != rows * cols) {
+    throw std::invalid_argument("heatmap: grid size mismatch");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : grid) {
+    if (std::isnan(v)) {
+      continue;
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::string out = title + "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    out += "  |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = grid[r * cols + c];
+      if (std::isnan(v)) {
+        out += ' ';
+        continue;
+      }
+      auto shade = static_cast<std::size_t>((v - lo) / span *
+                                            double(kShadeCount - 1) +
+                                            0.5);
+      out += kShades[std::min(shade, kShadeCount - 1)];
+    }
+    out += "|\n";
+  }
+  char legend[96];
+  std::snprintf(legend, sizeof legend, "  scale: '%c'=%.2f .. '%c'=%.2f\n",
+                kShades[0], lo, kShades[kShadeCount - 1], hi);
+  out += legend;
+  return out;
+}
+
+std::string line_chart(const std::vector<series>& data,
+                       const std::string& title, const std::string& x_label,
+                       const std::string& y_label, std::size_t width,
+                       std::size_t height) {
+  double xlo = std::numeric_limits<double>::infinity();
+  double xhi = -xlo;
+  double ylo = std::numeric_limits<double>::infinity();
+  double yhi = -ylo;
+  for (const auto& s : data) {
+    if (s.x.size() != s.y.size()) {
+      throw std::invalid_argument("line_chart: x/y size mismatch in series " +
+                                  s.name);
+    }
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      xlo = std::min(xlo, s.x[k]);
+      xhi = std::max(xhi, s.x[k]);
+      ylo = std::min(ylo, s.y[k]);
+      yhi = std::max(yhi, s.y[k]);
+    }
+  }
+  if (!std::isfinite(xlo)) {
+    return title + " (no data)\n";
+  }
+  ylo = std::min(ylo, 0.0);  // anchor bandwidth charts at zero
+  const double xspan = xhi > xlo ? xhi - xlo : 1.0;
+  const double yspan = yhi > ylo ? yhi - ylo : 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < data.size(); ++si) {
+    const char mark = kMarkers[si % (sizeof(kMarkers) - 1)];
+    const auto& s = data[si];
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      auto cx = static_cast<std::size_t>((s.x[k] - xlo) / xspan *
+                                         double(width - 1) +
+                                         0.5);
+      auto cy = static_cast<std::size_t>((s.y[k] - ylo) / yspan *
+                                         double(height - 1) +
+                                         0.5);
+      canvas[height - 1 - cy][cx] = mark;
+    }
+  }
+
+  std::string out = title + "\n";
+  char buf[192];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double yval =
+        ylo + yspan * double(height - 1 - r) / double(height - 1);
+    std::snprintf(buf, sizeof buf, "%10.2f |%s\n", yval, canvas[r].c_str());
+    out += buf;
+  }
+  out += std::string(11, ' ') + '+' + std::string(width, '-') + '\n';
+  std::snprintf(buf, sizeof buf, "%10.2f%*s%.2f   (%s vs %s)\n", xlo,
+                static_cast<int>(width) - 6, "", xhi, y_label.c_str(),
+                x_label.c_str());
+  out += buf;
+  out += "  legend:";
+  for (std::size_t si = 0; si < data.size(); ++si) {
+    out += ' ';
+    out += kMarkers[si % (sizeof(kMarkers) - 1)];
+    out += '=' + data[si].name;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace inplace::util

@@ -1,0 +1,32 @@
+#pragma once
+// Terminal renderings of the paper's figures: heatmaps (Figs. 4-5
+// performance landscapes) and line charts (Figs. 8-9 bandwidth curves).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace inplace::util {
+
+/// Render a row-major grid of values as a shaded ASCII heatmap with a
+/// legend mapping shades to value ranges.  NaN cells render as spaces.
+[[nodiscard]] std::string heatmap(const std::vector<double>& grid,
+                                  std::size_t rows, std::size_t cols,
+                                  const std::string& title);
+
+/// One labelled series for line_chart.
+struct series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render multiple series on a shared-axis ASCII chart (marker per series).
+[[nodiscard]] std::string line_chart(const std::vector<series>& data,
+                                     const std::string& title,
+                                     const std::string& x_label,
+                                     const std::string& y_label,
+                                     std::size_t width = 72,
+                                     std::size_t height = 20);
+
+}  // namespace inplace::util

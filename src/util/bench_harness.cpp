@@ -1,0 +1,61 @@
+#include "util/bench_harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace inplace::util {
+
+std::size_t bench_config::samples(std::size_t base,
+                                  std::size_t minimum) const {
+  const double scaled = static_cast<double>(base) * scale;
+  return std::max<std::size_t>(minimum, static_cast<std::size_t>(scaled));
+}
+
+bench_config parse_bench_args(int argc, char** argv) {
+  bench_config cfg;
+  if (const char* env = std::getenv("INPLACE_BENCH_SCALE")) {
+    cfg.scale = std::strtod(env, nullptr);
+    if (cfg.scale <= 0.0) {
+      cfg.scale = 1.0;
+    }
+  }
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (k + 1 >= argc) {
+        throw std::runtime_error(std::string("missing value for ") + flag);
+      }
+      return argv[++k];
+    };
+    if (arg == "--csv") {
+      cfg.csv_path = need_value("--csv");
+    } else if (arg == "--scale") {
+      cfg.scale = std::strtod(need_value("--scale"), nullptr);
+      if (cfg.scale <= 0.0) {
+        throw std::runtime_error("--scale must be positive");
+      }
+    } else if (arg == "--threads") {
+      cfg.threads = std::atoi(need_value("--threads"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--csv path] [--scale f] [--threads n]\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      throw std::runtime_error("unknown flag: " + arg);
+    }
+  }
+  return cfg;
+}
+
+void print_banner(const std::string& artifact,
+                  const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("Reproducing: %s\n", artifact.c_str());
+  std::printf("Paper claim: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace inplace::util

@@ -1,0 +1,34 @@
+#pragma once
+// Shared scaffolding for the per-figure/per-table benchmark binaries:
+// sample-count scaling, CSV output location, and a standard banner so the
+// reproduced rows are easy to find in `bench_output.txt`.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace inplace::util {
+
+/// Parsed command line / environment for a bench binary.
+///
+/// Recognised flags:
+///   --csv <path>   also dump the raw series as CSV
+///   --scale <f>    multiply workload sample counts by f (default from the
+///                  INPLACE_BENCH_SCALE environment variable, then 1.0)
+///   --threads <n>  OpenMP thread count (default: all)
+struct bench_config {
+  double scale = 1.0;
+  int threads = 0;  // 0 = library default
+  std::optional<std::string> csv_path;
+
+  /// Scaled sample count, never less than `minimum`.
+  [[nodiscard]] std::size_t samples(std::size_t base,
+                                    std::size_t minimum = 4) const;
+};
+
+[[nodiscard]] bench_config parse_bench_args(int argc, char** argv);
+
+/// Prints the standard header tying a binary back to the paper artifact.
+void print_banner(const std::string& artifact, const std::string& paper_claim);
+
+}  // namespace inplace::util

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal CSV emission so every benchmark can dump the raw series behind
+// the table/figure it reproduces.
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace inplace::util {
+
+/// Append-only CSV writer.  Values are stringified with operator<<; strings
+/// containing separators/quotes are quoted per RFC 4180.
+class csv_writer {
+ public:
+  explicit csv_writer(const std::string& path) : out_(path) {
+    if (!out_) {
+      throw std::runtime_error("csv_writer: cannot open " + path);
+    }
+  }
+
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    bool first = true;
+    ((write_field(to_string(fields), first), first = false), ...);
+    out_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  static std::string to_string(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  void write_field(const std::string& field, bool first) {
+    if (!first) {
+      out_ << ',';
+    }
+    if (field.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char ch : field) {
+        if (ch == '"') {
+          out_ << '"';
+        }
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << field;
+    }
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace inplace::util

@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace inplace::util {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("histogram: lo must be < hi");
+  }
+  if (bins == 0) {
+    throw std::invalid_argument("histogram: need at least one bin");
+  }
+}
+
+void histogram::add(double sample) {
+  const double scaled =
+      (sample - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = scaled <= 0.0 ? std::ptrdiff_t{0}
+                           : static_cast<std::ptrdiff_t>(scaled);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void histogram::add(std::span<const double> samples) {
+  for (double s : samples) {
+    add(s);
+  }
+}
+
+std::size_t histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("histogram::count: bin out of range");
+  }
+  return counts_[bin];
+}
+
+double histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+std::string histogram::render(std::size_t width, double marker) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[160];
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[bin] * width / peak;
+    const bool marked =
+        marker >= bin_low(bin) && marker < bin_high(bin);
+    std::snprintf(line, sizeof line, "%9.3f..%-9.3f |%s%s %zu%s\n",
+                  bin_low(bin), bin_high(bin),
+                  std::string(bar, '#').c_str(), marked ? "<" : "",
+                  counts_[bin], marked ? "   <-- median" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace inplace::util

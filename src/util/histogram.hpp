@@ -1,0 +1,40 @@
+#pragma once
+// Fixed-bin histograms rendered as ASCII, mirroring the throughput
+// histograms of Figures 3, 6 and 7 in the paper.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace inplace::util {
+
+/// Histogram over [lo, hi) with uniformly sized bins.  Samples outside the
+/// range are clamped into the first/last bin (the paper clamps fast outliers
+/// to the 99th percentile in the same spirit).
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+  void add(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering: one row per bin, bar length proportional
+  /// to count, with an optional marker line for e.g. the median.
+  [[nodiscard]] std::string render(std::size_t width = 50,
+                                   double marker = -1.0) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace inplace::util

@@ -1,0 +1,68 @@
+#pragma once
+// Matrix fixtures shared by tests and benchmarks: canonical fills, the
+// out-of-place reference transpose, and buffer verification.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace inplace::util {
+
+/// Fill with the element's own linear index so any permutation of the
+/// buffer is directly observable.
+template <typename T>
+void fill_iota(std::span<T> data) {
+  for (std::size_t l = 0; l < data.size(); ++l) {
+    data[l] = static_cast<T>(l);
+  }
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> iota_matrix(std::size_t rows, std::size_t cols) {
+  std::vector<T> data(rows * cols);
+  fill_iota(std::span<T>(data));
+  return data;
+}
+
+/// Out-of-place reference transpose of a row-major rows x cols array.
+/// The result is a row-major cols x rows array.
+template <typename T>
+[[nodiscard]] std::vector<T> reference_transpose(std::span<const T> src,
+                                                 std::size_t rows,
+                                                 std::size_t cols) {
+  if (src.size() != rows * cols) {
+    throw std::invalid_argument("reference_transpose: size mismatch");
+  }
+  std::vector<T> dst(src.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j * rows + i] = src[i * cols + j];
+    }
+  }
+  return dst;
+}
+
+/// Index of the first mismatching element, or -1 if the spans are equal.
+template <typename T>
+[[nodiscard]] std::ptrdiff_t first_mismatch(std::span<const T> a,
+                                            std::span<const T> b) {
+  if (a.size() != b.size()) {
+    return 0;
+  }
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    if (a[l] != b[l]) {
+      return static_cast<std::ptrdiff_t>(l);
+    }
+  }
+  return -1;
+}
+
+/// A 16-byte POD mimicking the structures in the paper's AoS experiments.
+struct alignas(16) vec4f {
+  float x, y, z, w;
+  friend bool operator==(const vec4f&, const vec4f&) = default;
+};
+
+}  // namespace inplace::util

@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for tests and
+// benchmark workload sampling.  We avoid <random>'s distributions in hot
+// paths: benchmarks draw millions of matrix extents and need reproducible
+// streams across compilers, which std distributions do not guarantee.
+
+#include <cstdint>
+#include <limits>
+
+namespace inplace::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm).
+/// Deterministic across platforms; passes BigCrush; 2^256-1 period.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors: avoids the
+    // all-zero state and decorrelates nearby seeds.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi) using Lemire's unbiased multiply-shift
+  /// rejection method.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t range = hi - lo;
+    // Fast path: multiply-high maps a 64-bit draw onto [0, range) with a
+    // rejection zone of size (2^64 mod range) to remove modulo bias.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+      const std::uint64_t threshold = (0 - range) % range;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace inplace::util

@@ -1,0 +1,67 @@
+#pragma once
+// Order statistics used by the benchmark harness (the paper reports medians
+// and maxima of throughput distributions).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace inplace::util {
+
+/// q-quantile (q in [0,1]) with linear interpolation between order
+/// statistics.  Copies the input; callers keep their sample order.
+[[nodiscard]] inline double quantile(std::span<const double> samples,
+                                     double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile: empty sample set");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q outside [0,1]");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+[[nodiscard]] inline double median(std::span<const double> samples) {
+  return quantile(samples, 0.5);
+}
+
+[[nodiscard]] inline double mean(std::span<const double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("mean: empty sample set");
+  }
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+[[nodiscard]] inline double min_value(std::span<const double> samples) {
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+[[nodiscard]] inline double max_value(std::span<const double> samples) {
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+/// Sample standard deviation (n-1 denominator).
+[[nodiscard]] inline double stddev(std::span<const double> samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  const double mu = mean(samples);
+  double acc = 0.0;
+  for (double s : samples) {
+    acc += (s - mu) * (s - mu);
+  }
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+}  // namespace inplace::util

@@ -1,0 +1,49 @@
+#pragma once
+// Thin OpenMP shims so the library builds and runs (serially) without it.
+
+#include <cstddef>
+
+#if defined(INPLACE_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace inplace::util {
+
+[[nodiscard]] inline int hardware_threads() {
+#if defined(INPLACE_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Scoped override of the OpenMP thread count; restores on destruction.
+class thread_count_guard {
+ public:
+  explicit thread_count_guard(int threads) {
+#if defined(INPLACE_HAVE_OPENMP)
+    previous_ = omp_get_max_threads();
+    if (threads > 0) {
+      omp_set_num_threads(threads);
+    }
+#else
+    (void)threads;
+#endif
+  }
+
+  ~thread_count_guard() {
+#if defined(INPLACE_HAVE_OPENMP)
+    omp_set_num_threads(previous_);
+#endif
+  }
+
+  thread_count_guard(const thread_count_guard&) = delete;
+  thread_count_guard& operator=(const thread_count_guard&) = delete;
+
+ private:
+#if defined(INPLACE_HAVE_OPENMP)
+  int previous_ = 1;
+#endif
+};
+
+}  // namespace inplace::util

@@ -1,0 +1,39 @@
+#pragma once
+// Wall-clock timing for throughput measurement (Eq. 37 of the paper uses
+// end-to-end transposition time).
+
+#include <chrono>
+#include <cstddef>
+
+namespace inplace::util {
+
+/// Monotonic wall-clock stopwatch.
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in GB/s per the paper's Eq. 37: an ideal transpose reads the
+/// array once and writes it once, so it moves 2*m*n*elem_size bytes.
+[[nodiscard]] inline double transpose_throughput_gbs(std::size_t rows,
+                                                     std::size_t cols,
+                                                     std::size_t elem_size,
+                                                     double seconds) {
+  const double bytes = 2.0 * static_cast<double>(rows) *
+                       static_cast<double>(cols) *
+                       static_cast<double>(elem_size);
+  return bytes / seconds * 1e-9;
+}
+
+}  // namespace inplace::util

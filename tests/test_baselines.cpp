@@ -1,0 +1,156 @@
+// Correctness of the comparison baselines: classic cycle following (both
+// space regimes), the Sung-like and Gustavson-like tiled algorithms, and
+// the out-of-place reference — plus the cycle-distribution property the
+// paper uses to argue cycle following parallelizes poorly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "baselines/cycle_follow.hpp"
+#include "baselines/gustavson_like.hpp"
+#include "baselines/out_of_place.hpp"
+#include "baselines/sung_tiled.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+struct shape {
+  std::uint64_t m;
+  std::uint64_t n;
+};
+
+std::ostream& operator<<(std::ostream& os, const shape& s) {
+  return os << s.m << "x" << s.n;
+}
+
+const shape kShapes[] = {
+    {1, 1},  {1, 12},  {12, 1},  {2, 3},   {3, 8},    {4, 8},   {5, 5},
+    {7, 11}, {6, 9},   {12, 18}, {32, 48}, {13, 64},  {30, 42}, {97, 89},
+    {100, 10}, {36, 60}, {128, 96}, {33, 55}, {144, 96}, {60, 84},
+    {210, 330}, {121, 77}, {64, 64}, {48, 180}, {101, 103}};
+
+class BaselineShapes : public ::testing::TestWithParam<shape> {};
+INSTANTIATE_TEST_SUITE_P(AllShapes, BaselineShapes,
+                         ::testing::ValuesIn(kShapes));
+
+template <typename Fn>
+void check_transposes(std::uint64_t m, std::uint64_t n, Fn run,
+                      const char* what) {
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  const auto src = a;
+  run(a.data(), m, n);
+  const auto want =
+      util::reference_transpose(std::span<const std::uint32_t>(src), m, n);
+  ASSERT_EQ(util::first_mismatch(std::span<const std::uint32_t>(a),
+                                 std::span<const std::uint32_t>(want)),
+            -1)
+      << what << " " << m << "x" << n;
+}
+
+TEST_P(BaselineShapes, CycleFollowingBitvector) {
+  const auto [m, n] = GetParam();
+  check_transposes(m, n, [](std::uint32_t* a, auto mm, auto nn) {
+    baselines::cycle_following_transpose(a, mm, nn);
+  }, "cycle bitvec");
+}
+
+TEST_P(BaselineShapes, CycleFollowingLimitedSpace) {
+  const auto [m, n] = GetParam();
+  check_transposes(m, n, [](std::uint32_t* a, auto mm, auto nn) {
+    baselines::cycle_following_transpose_limited(a, mm, nn);
+  }, "cycle limited");
+}
+
+TEST_P(BaselineShapes, SungTiled) {
+  const auto [m, n] = GetParam();
+  check_transposes(m, n, [](std::uint32_t* a, auto mm, auto nn) {
+    baselines::sung_tiled_transpose(a, mm, nn);
+  }, "sung tiled");
+}
+
+TEST_P(BaselineShapes, GustavsonLike) {
+  const auto [m, n] = GetParam();
+  check_transposes(m, n, [](std::uint32_t* a, auto mm, auto nn) {
+    baselines::gustavson_like_transpose(a, mm, nn);
+  }, "gustavson-like");
+}
+
+TEST_P(BaselineShapes, OutOfPlace) {
+  const auto [m, n] = GetParam();
+  check_transposes(m, n, [](std::uint32_t* a, auto mm, auto nn) {
+    baselines::out_of_place_transpose(a, mm, nn);
+  }, "out of place");
+}
+
+TEST(TileHeuristic, FactorProductReachesThreshold) {
+  // 7200 = 2^5*3^2*5^2: smallest factors multiply to >= 72 without
+  // degenerating (the shape Sung [6] reports 20.8 GB/s on).
+  const auto t = baselines::choose_tiles(7200, 1800);
+  EXPECT_TRUE(t.well_tiled);
+  EXPECT_GE(t.tile_rows, 72u);
+  EXPECT_EQ(7200 % t.tile_rows, 0u);
+  EXPECT_EQ(1800 % t.tile_cols, 0u);
+}
+
+TEST(TileHeuristic, PrimeDimensionsDegenerate) {
+  const auto t = baselines::choose_tiles(7919, 7907);  // both prime
+  EXPECT_FALSE(t.well_tiled);
+}
+
+TEST(TileHeuristic, TileAlwaysDividesDimension) {
+  util::xoshiro256 rng(4);
+  for (int k = 0; k < 500; ++k) {
+    const std::uint64_t m = rng.uniform(2, 20000);
+    const std::uint64_t n = rng.uniform(2, 20000);
+    const auto t = baselines::choose_tiles(m, n);
+    ASSERT_EQ(m % t.tile_rows, 0u);
+    ASSERT_EQ(n % t.tile_cols, 0u);
+  }
+}
+
+TEST(CycleStructure, LengthsPartitionThePermutation) {
+  for (auto [m, n] : {shape{4, 8}, shape{30, 42}, shape{97, 89}}) {
+    const auto lengths = baselines::transpose_cycle_lengths(m, n);
+    std::uint64_t covered = std::accumulate(lengths.begin(), lengths.end(),
+                                            std::uint64_t{0});
+    // All positions except the two fixed endpoints lie in recorded cycles
+    // (cycles of length 1 inside the range are also recorded).
+    EXPECT_EQ(covered, m * n - 2);
+  }
+}
+
+TEST(CycleStructure, LengthsAreSkewed) {
+  // The paper's parallelization argument: cycle lengths are poorly
+  // distributed.  For 97x89 the longest cycle dwarfs the shortest.
+  const auto lengths = baselines::transpose_cycle_lengths(97, 89);
+  ASSERT_GE(lengths.size(), 2u);
+  EXPECT_GE(lengths.back(), 8 * lengths.front());
+}
+
+TEST(CycleStructure, SquareMatrixCyclesArePairs) {
+  const auto lengths = baselines::transpose_cycle_lengths(16, 16);
+  for (const auto len : lengths) {
+    EXPECT_LE(len, 2u);  // square transposition is an involution
+  }
+}
+
+TEST(Baselines, RandomizedAgreementWithLibrary) {
+  util::xoshiro256 rng(5);
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t m = rng.uniform(2, 200);
+    const std::uint64_t n = rng.uniform(2, 200);
+    auto a = util::iota_matrix<std::uint64_t>(m, n);
+    auto b = a;
+    baselines::cycle_following_transpose(a.data(), m, n);
+    baselines::sung_tiled_transpose(b.data(), m, n);
+    ASSERT_EQ(a, b) << m << "x" << n;
+  }
+}
+
+}  // namespace

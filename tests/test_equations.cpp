@@ -1,0 +1,251 @@
+// Property tests for the decomposed permutation equations (Sections 3-4):
+// Theorem 3's bijectivity of d', the closed-form inverses of Eqs. 31 and
+// 34, the p∘q factorization of the column shuffle, and agreement between
+// the strength-reduced and plain division policies.
+
+#include "core/equations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using inplace::fast_divmod;
+using inplace::plain_divmod;
+using inplace::transpose_math;
+
+struct shape {
+  std::uint64_t m;
+  std::uint64_t n;
+};
+
+std::ostream& operator<<(std::ostream& os, const shape& s) {
+  return os << s.m << "x" << s.n;
+}
+
+class EquationsTest : public ::testing::TestWithParam<shape> {};
+
+// Shapes covering: coprime, equal, one divides the other, shared factors,
+// primes, powers of two, degenerate single row/column, and the paper's
+// Figure 1 (3x8) and Figure 2 (4x8) examples.
+const shape kShapes[] = {
+    {3, 8},  {4, 8},   {8, 4},   {1, 1},   {1, 17},  {17, 1},  {2, 2},
+    {5, 5},  {16, 16}, {7, 11},  {11, 7},  {6, 9},   {9, 6},   {12, 18},
+    {18, 12}, {5, 25}, {25, 5},  {32, 48}, {48, 32}, {13, 64}, {64, 13},
+    {30, 42}, {97, 89}, {100, 10}, {10, 100}, {36, 60}, {127, 127},
+    {128, 96}, {33, 55}, {2, 64}, {64, 2},  {21, 14}, {255, 85}};
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, EquationsTest,
+                         ::testing::ValuesIn(kShapes));
+
+TEST_P(EquationsTest, ConstantsAreConsistent) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  EXPECT_EQ(mm.c, std::gcd(m, n));
+  EXPECT_EQ(mm.a * mm.c, m);
+  EXPECT_EQ(mm.b * mm.c, n);
+  if (mm.b > 1) {
+    EXPECT_EQ(mm.a * mm.a_inv % mm.b, 1u);
+  }
+  if (mm.a > 1) {
+    EXPECT_EQ(mm.b * mm.b_inv % mm.a, 1u);
+  }
+}
+
+TEST_P(EquationsTest, DPrimeIsBijectivePerRow) {
+  // Theorem 3: after the pre-rotation, d'_i is a bijection on [0, n) for
+  // every fixed row i.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  std::vector<std::uint8_t> seen(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t d = mm.d_prime(i, j);
+      ASSERT_LT(d, n);
+      ASSERT_FALSE(seen[d]) << "collision in row " << i << " at j=" << j;
+      seen[d] = 1;
+    }
+  }
+}
+
+TEST_P(EquationsTest, UnrotatedDIsNotBijectiveWhenGcdExceedsOne) {
+  // Lemma 1: d_i(j) = (i + jm) mod n is periodic with period b, so for
+  // c > 1 conflicts are guaranteed — the motivation for the pre-rotation.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  if (mm.c <= 1 || n < 2) {
+    GTEST_SKIP() << "coprime extents: d is already bijective";
+  }
+  // Period check: d_i(j + b) == d_i(j).
+  for (std::uint64_t j = 0; j + mm.b < n; ++j) {
+    const std::uint64_t d0 = (0 + j * m) % n;
+    const std::uint64_t d1 = (0 + (j + mm.b) * m) % n;
+    EXPECT_EQ(d0, d1);
+  }
+}
+
+TEST_P(EquationsTest, Eq31InvertsDPrime) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t d = mm.d_prime(i, j);
+      ASSERT_EQ(mm.d_prime_inv(i, d), j)
+          << "d'^-1(d'(j)) != j at i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(EquationsTest, ColumnShuffleFactorsThroughPAndQ) {
+  // Section 4.2: s'_j = p_j ∘ q, i.e. s'_j(i) = (q(i) + j) mod m.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t via_pq = (mm.q(i) + mm.p_offset(j)) % m;
+      ASSERT_EQ(via_pq, mm.s_prime(i, j)) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(EquationsTest, SPrimeIsBijectivePerColumn) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  std::vector<std::uint8_t> seen(m);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t s = mm.s_prime(i, j);
+      ASSERT_LT(s, m);
+      ASSERT_FALSE(seen[s]);
+      seen[s] = 1;
+    }
+  }
+}
+
+TEST_P(EquationsTest, Eq34InvertsQ) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t qi = mm.q(i);
+    ASSERT_LT(qi, m);
+    ASSERT_EQ(mm.q(mm.q_inv(i)), i) << "q(q^-1(i)) != i at i=" << i;
+    ASSERT_EQ(mm.q_inv(qi), i) << "q^-1(q(i)) != i at i=" << i;
+  }
+}
+
+TEST_P(EquationsTest, RotationOffsetsAreInRange) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    EXPECT_LT(mm.prerotate_offset(j), mm.c == 0 ? 1 : std::max(mm.c, 1ul));
+    EXPECT_LT(mm.p_offset(j), m);
+    EXPECT_LT(mm.p_inv_offset(j), m);
+    EXPECT_LT(mm.prerotate_inv_offset(j), std::max<std::uint64_t>(m, 1));
+    // p^-1 undoes p as a rotation: offsets sum to 0 mod m.
+    EXPECT_EQ((mm.p_offset(j) + mm.p_inv_offset(j)) % m, 0u);
+    EXPECT_EQ((mm.prerotate_offset(j) + mm.prerotate_inv_offset(j)) % m, 0u);
+  }
+}
+
+TEST_P(EquationsTest, FastAndPlainPoliciesAgree) {
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> fast(m, n);
+  const transpose_math<plain_divmod> plain(m, n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(fast.d_prime(i, j), plain.d_prime(i, j));
+      ASSERT_EQ(fast.d_prime_inv(i, j), plain.d_prime_inv(i, j));
+      ASSERT_EQ(fast.s_prime(i, j), plain.s_prime(i, j));
+    }
+    ASSERT_EQ(fast.q(i), plain.q(i));
+    ASSERT_EQ(fast.q_inv(i), plain.q_inv(i));
+  }
+}
+
+TEST_P(EquationsTest, StepperMatchesDPrime) {
+  // The incremental evaluator must track d'_i(j) and ⌊j/b⌋ exactly for
+  // every row.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    inplace::d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      ASSERT_EQ(step.value(), mm.d_prime(i, j))
+          << "i=" << i << " j=" << j;
+      ASSERT_EQ(step.rotation(), mm.prerotate_offset(j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(EquationsTest, Lemma2MultiplesOfMAreDistinctModN) {
+  // Lemma 2: for 0 <= x, y < b, mx ≡ my (mod n) implies x = y.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  std::vector<std::uint8_t> seen(n);
+  for (std::uint64_t x = 0; x < mm.b; ++x) {
+    const std::uint64_t v = m * x % n;
+    ASSERT_FALSE(seen[v]) << "collision at x=" << x;
+    seen[v] = 1;
+  }
+}
+
+TEST_P(EquationsTest, Lemma3MultiplesOfMEqualMultiplesOfC) {
+  // Lemma 3: { hm mod n : h in [0,b) } = { hc : h in [0,b) }.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  std::vector<std::uint64_t> s;
+  std::vector<std::uint64_t> t;
+  for (std::uint64_t h = 0; h < mm.b; ++h) {
+    s.push_back(h * m % n);
+    t.push_back(h * mm.c);
+  }
+  std::sort(s.begin(), s.end());
+  std::sort(t.begin(), t.end());
+  EXPECT_EQ(s, t);
+}
+
+TEST_P(EquationsTest, Theorem5ColumnBoundsHold) {
+  // The key correspondence in Theorem 5's proof: for every element, the
+  // C2R source column c_j(i) = floor((j + i*n)/m) lies in
+  // [kb, (k+1)b) where k = floor(i/a) — i.e. row group k reads only from
+  // the column group that was rotated by k.
+  const auto [m, n] = GetParam();
+  const transpose_math<fast_divmod> mm(m, n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t k = i / mm.a;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t cj = (j + i * n) / m;
+      ASSERT_GE(cj, k * mm.b) << "i=" << i << " j=" << j;
+      ASSERT_LT(cj, (k + 1) * mm.b) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(EquationsSpot, CoprimeShapesNeedNoPrerotation) {
+  const transpose_math<fast_divmod> mm(3, 8);
+  EXPECT_FALSE(mm.needs_prerotate());
+  // With c = 1, d' degenerates to d (the note after Theorem 3).
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(mm.d_prime(i, j), (i + j * 3) % 8);
+    }
+  }
+}
+
+TEST(EquationsSpot, Figure2PrerotationAmounts) {
+  // Figure 2 (4x8): b = 2, so columns rotate by ⌊j/2⌋ = 0,0,1,1,2,2,3,3.
+  const transpose_math<fast_divmod> mm(4, 8);
+  EXPECT_TRUE(mm.needs_prerotate());
+  const std::uint64_t expected[] = {0, 0, 1, 1, 2, 2, 3, 3};
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(mm.prerotate_offset(j), expected[j]);
+  }
+}
+
+}  // namespace

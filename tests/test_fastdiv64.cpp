@@ -1,0 +1,111 @@
+// Tests for the 128-bit Barrett divider (core/fastdiv64.hpp): exactness
+// over exhaustive small operands, boundary 64-bit operands, randomized
+// sweeps, and usability as the transpose_math division policy.
+
+#include "core/fastdiv64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/equations.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using inplace::barrett_divmod;
+
+void expect_agrees(const barrett_divmod& bd, std::uint64_t x) {
+  const std::uint64_t d = bd.divisor();
+  ASSERT_EQ(bd.div(x), x / d) << x << " / " << d;
+  ASSERT_EQ(bd.mod(x), x % d) << x << " % " << d;
+  const auto [q, r] = bd.divmod(x);
+  ASSERT_EQ(q, x / d);
+  ASSERT_EQ(r, x % d);
+}
+
+TEST(Barrett, ThrowsOnZeroDivisor) {
+  EXPECT_THROW(barrett_divmod(0), std::invalid_argument);
+}
+
+TEST(Barrett, ExhaustiveSmallOperands) {
+  for (std::uint64_t d = 1; d <= 64; ++d) {
+    const barrett_divmod bd(d);
+    for (std::uint64_t x = 0; x <= 512; ++x) {
+      expect_agrees(bd, x);
+    }
+  }
+}
+
+TEST(Barrett, BoundaryOperands) {
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t divisors[] = {1,
+                                    2,
+                                    3,
+                                    7,
+                                    0xffffffffull,
+                                    0x100000000ull,
+                                    0x100000001ull,
+                                    max64 / 2,
+                                    max64 - 1,
+                                    max64};
+  const std::uint64_t dividends[] = {0,        1,         2,
+                                     max64,    max64 - 1, max64 / 2,
+                                     1ull << 32, (1ull << 32) - 1,
+                                     (1ull << 63) + 12345};
+  for (const std::uint64_t d : divisors) {
+    const barrett_divmod bd(d);
+    for (const std::uint64_t x : dividends) {
+      expect_agrees(bd, x);
+    }
+  }
+}
+
+TEST(Barrett, PowersOfTwo) {
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t d = std::uint64_t{1} << k;
+    const barrett_divmod bd(d);
+    expect_agrees(bd, d - 1);
+    expect_agrees(bd, d);
+    expect_agrees(bd, d + 1);
+    expect_agrees(bd, std::numeric_limits<std::uint64_t>::max());
+  }
+}
+
+TEST(Barrett, RandomizedFull64Bit) {
+  inplace::util::xoshiro256 rng(64);
+  for (int t = 0; t < 200000; ++t) {
+    const std::uint64_t d =
+        rng.uniform(1, std::numeric_limits<std::uint64_t>::max());
+    const barrett_divmod bd(d);
+    expect_agrees(bd, rng());
+  }
+}
+
+TEST(Barrett, RandomizedSmallDivisorsLargeDividends) {
+  inplace::util::xoshiro256 rng(65);
+  for (int t = 0; t < 50000; ++t) {
+    const std::uint64_t d = rng.uniform(1, 1u << 20);
+    const barrett_divmod bd(d);
+    expect_agrees(bd, rng());
+  }
+}
+
+TEST(Barrett, WorksAsTransposeMathPolicy) {
+  // The policy interface (div/mod/divmod + divisor constructor) must slot
+  // straight into the index equations.
+  const inplace::transpose_math<barrett_divmod> mm(30, 42);
+  const inplace::transpose_math<inplace::fast_divmod> ref(30, 42);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    for (std::uint64_t j = 0; j < 42; ++j) {
+      ASSERT_EQ(mm.d_prime(i, j), ref.d_prime(i, j));
+      ASSERT_EQ(mm.d_prime_inv(i, j), ref.d_prime_inv(i, j));
+      ASSERT_EQ(mm.s_prime(i, j), ref.s_prime(i, j));
+    }
+    ASSERT_EQ(mm.q(i), ref.q(i));
+    ASSERT_EQ(mm.q_inv(i), ref.q_inv(i));
+  }
+}
+
+}  // namespace

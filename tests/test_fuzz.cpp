@@ -1,0 +1,167 @@
+// Randomized differential fuzzing across the whole public surface: many
+// random (shape, engine, direction, element type, thread count, policy)
+// configurations, each checked against the out-of-place reference.  This
+// is the catch-all net behind the targeted suites.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/tensor.hpp"
+#include "core/transpose.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+template <typename T>
+void fuzz_one(util::xoshiro256& rng) {
+  const std::uint64_t m = rng.uniform(1, 260);
+  const std::uint64_t n = rng.uniform(1, 260);
+  options opts;
+  switch (rng.uniform(0, 4)) {
+    case 0:
+      opts.engine = engine_kind::reference;
+      break;
+    case 1:
+      opts.engine = engine_kind::blocked;
+      break;
+    case 2:
+      opts.engine = engine_kind::skinny;
+      break;
+    default:
+      opts.engine = engine_kind::automatic;
+      break;
+  }
+  opts.strength_reduction = rng.uniform(0, 2) == 0;
+  opts.threads = static_cast<int>(rng.uniform(0, 3));
+  opts.block_bytes = 32u << rng.uniform(0, 4);  // 32..256
+  const auto order = rng.uniform(0, 2) == 0 ? storage_order::row_major
+                                            : storage_order::col_major;
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      opts.alg = options::algorithm::automatic;
+      break;
+    case 1:
+      opts.alg = options::algorithm::c2r;
+      break;
+    default:
+      opts.alg = options::algorithm::r2c;
+      break;
+  }
+
+  std::vector<T> a(m * n);
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    a[l] = static_cast<T>(l * 2654435761u + 97);
+  }
+  const auto src = a;
+  transpose(a.data(), m, n, order, opts);
+
+  // Model: row-major semantics; column-major input equals row-major n x m.
+  const std::uint64_t rm = order == storage_order::row_major ? m : n;
+  const std::uint64_t rn = order == storage_order::row_major ? n : m;
+  const auto want =
+      util::reference_transpose(std::span<const T>(src), rm, rn);
+  ASSERT_EQ(util::first_mismatch(std::span<const T>(a),
+                                 std::span<const T>(want)),
+            -1)
+      << m << "x" << n << " engine=" << static_cast<int>(opts.engine)
+      << " sr=" << opts.strength_reduction
+      << " order=" << (order == storage_order::row_major ? "rm" : "cm")
+      << " alg=" << static_cast<int>(opts.alg)
+      << " bw=" << opts.block_bytes;
+}
+
+TEST(Fuzz, TransposeU32) {
+  util::xoshiro256 rng(0xF00D);
+  for (int t = 0; t < 400; ++t) {
+    fuzz_one<std::uint32_t>(rng);
+  }
+}
+
+TEST(Fuzz, TransposeU8) {
+  util::xoshiro256 rng(0xBEEF);
+  for (int t = 0; t < 200; ++t) {
+    fuzz_one<std::uint8_t>(rng);
+  }
+}
+
+TEST(Fuzz, TransposeU64) {
+  util::xoshiro256 rng(0xCAFE);
+  for (int t = 0; t < 200; ++t) {
+    fuzz_one<std::uint64_t>(rng);
+  }
+}
+
+TEST(Fuzz, RawPermutationsRoundTrip) {
+  util::xoshiro256 rng(0xD1CE);
+  for (int t = 0; t < 250; ++t) {
+    const std::uint64_t m = rng.uniform(1, 300);
+    const std::uint64_t n = rng.uniform(1, 300);
+    auto a = util::iota_matrix<std::uint32_t>(m, n);
+    const auto src = a;
+    options opts;
+    opts.engine = static_cast<engine_kind>(rng.uniform(0, 4));
+    c2r(a.data(), m, n, opts);
+    opts.engine = static_cast<engine_kind>(rng.uniform(0, 4));
+    r2c(a.data(), m, n, opts);
+    ASSERT_EQ(a, src) << m << "x" << n;
+  }
+}
+
+TEST(Fuzz, TensorPermutationChains) {
+  // Random chains of axis permutations tracked against a shadow model of
+  // the current extent order.
+  util::xoshiro256 rng(0xFACE);
+  const axis_perm perms[] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                             {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (int t = 0; t < 25; ++t) {
+    std::size_t d[3] = {rng.uniform(1, 16), rng.uniform(1, 16),
+                        rng.uniform(1, 16)};
+    std::vector<std::uint32_t> a(d[0] * d[1] * d[2]);
+    for (std::size_t l = 0; l < a.size(); ++l) {
+      a[l] = static_cast<std::uint32_t>(l);
+    }
+    // Shadow: the original (i0, i1, i2) owning each current axis slot.
+    int axis_of[3] = {0, 1, 2};
+    for (int step = 0; step < 4; ++step) {
+      const axis_perm p = perms[rng.uniform(0, 6)];
+      permute3(a.data(), d[0], d[1], d[2], p);
+      const std::size_t nd[3] = {d[p[0]], d[p[1]], d[p[2]]};
+      const int na[3] = {axis_of[p[0]], axis_of[p[1]], axis_of[p[2]]};
+      d[0] = nd[0];
+      d[1] = nd[1];
+      d[2] = nd[2];
+      axis_of[0] = na[0];
+      axis_of[1] = na[1];
+      axis_of[2] = na[2];
+    }
+    // Verify a sample of entries against the shadow mapping.
+    const std::size_t orig[3] = {d[0], d[1], d[2]};
+    (void)orig;
+    for (int probe = 0; probe < 50; ++probe) {
+      const std::size_t i = rng.uniform(0, d[0]);
+      const std::size_t j = rng.uniform(0, d[1]);
+      const std::size_t k = rng.uniform(0, d[2]);
+      // Reconstruct the original coordinates of this cell.
+      std::size_t coord[3] = {};
+      coord[static_cast<std::size_t>(axis_of[0])] = i;
+      coord[static_cast<std::size_t>(axis_of[1])] = j;
+      coord[static_cast<std::size_t>(axis_of[2])] = k;
+      // Original extents, recovered from the shadow.
+      std::size_t od[3] = {};
+      od[static_cast<std::size_t>(axis_of[0])] = d[0];
+      od[static_cast<std::size_t>(axis_of[1])] = d[1];
+      od[static_cast<std::size_t>(axis_of[2])] = d[2];
+      const std::uint32_t want = static_cast<std::uint32_t>(
+          (coord[0] * od[1] + coord[1]) * od[2] + coord[2]);
+      ASSERT_EQ(a[(i * d[1] + j) * d[2] + k], want);
+    }
+  }
+}
+
+}  // namespace

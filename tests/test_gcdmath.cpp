@@ -1,0 +1,114 @@
+// Unit tests for the number-theoretic helpers (core/gcdmath.hpp): the
+// extended Euclidean algorithm, modular multiplicative inverses (used by
+// Eqs. 31 and 34), and the (c, a, b) decomposition constants.
+
+#include "core/gcdmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using inplace::decompose_gcd;
+using inplace::extended_gcd;
+using inplace::mmi;
+
+TEST(ExtendedGcd, MatchesStdGcdOnSmallPairs) {
+  for (std::uint64_t x = 0; x <= 64; ++x) {
+    for (std::uint64_t y = 0; y <= 64; ++y) {
+      if (x == 0 && y == 0) {
+        continue;
+      }
+      EXPECT_EQ(extended_gcd(x, y).g, std::gcd(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(ExtendedGcd, BezoutIdentityHolds) {
+  inplace::util::xoshiro256 rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t x = rng.uniform(1, 1u << 20);
+    const std::uint64_t y = rng.uniform(1, 1u << 20);
+    const auto e = extended_gcd(x, y);
+    const auto lhs = static_cast<std::int64_t>(e.g);
+    EXPECT_EQ(lhs, e.s * static_cast<std::int64_t>(x) +
+                       e.t * static_cast<std::int64_t>(y));
+  }
+}
+
+TEST(ExtendedGcd, HandlesZeroOperand) {
+  EXPECT_EQ(extended_gcd(0, 7).g, 7u);
+  EXPECT_EQ(extended_gcd(7, 0).g, 7u);
+}
+
+TEST(Mmi, InverseOfOneIsZeroByConvention) {
+  EXPECT_EQ(mmi(5, 1), 0u);
+  EXPECT_EQ(mmi(1, 1), 0u);
+}
+
+TEST(Mmi, ThrowsOnZeroModulus) {
+  EXPECT_THROW((void)mmi(3, 0), std::exception);
+}
+
+TEST(Mmi, ThrowsWhenNotCoprime) {
+  EXPECT_THROW((void)mmi(4, 6), std::invalid_argument);
+  EXPECT_THROW((void)mmi(10, 5), std::invalid_argument);
+}
+
+TEST(Mmi, ProductIsOneModulo) {
+  inplace::util::xoshiro256 rng(2);
+  int checked = 0;
+  while (checked < 2000) {
+    const std::uint64_t y = rng.uniform(2, 1u << 16);
+    const std::uint64_t x = rng.uniform(1, 1u << 16);
+    if (std::gcd(x, y) != 1) {
+      continue;
+    }
+    const std::uint64_t inv = mmi(x, y);
+    ASSERT_LT(inv, y);
+    EXPECT_EQ((x % y) * inv % y, 1u) << x << " mod " << y;
+    ++checked;
+  }
+}
+
+TEST(Mmi, ExhaustiveSmallModuli) {
+  for (std::uint64_t y = 2; y <= 97; ++y) {
+    for (std::uint64_t x = 1; x < y; ++x) {
+      if (std::gcd(x, y) != 1) {
+        continue;
+      }
+      EXPECT_EQ(x * mmi(x, y) % y, 1u);
+    }
+  }
+}
+
+TEST(DecomposeGcd, PaperExamples) {
+  // The 3x8 example of Figure 1: c = 1 (coprime, no pre-rotation).
+  auto g = decompose_gcd(3, 8);
+  EXPECT_EQ(g.c, 1u);
+  EXPECT_EQ(g.a, 3u);
+  EXPECT_EQ(g.b, 8u);
+  // The 4x8 example of Figure 2: c = 4.
+  g = decompose_gcd(4, 8);
+  EXPECT_EQ(g.c, 4u);
+  EXPECT_EQ(g.a, 1u);
+  EXPECT_EQ(g.b, 2u);
+}
+
+TEST(DecomposeGcd, ProductsRecoverExtents) {
+  inplace::util::xoshiro256 rng(3);
+  for (int t = 0; t < 1000; ++t) {
+    const std::uint64_t m = rng.uniform(1, 5000);
+    const std::uint64_t n = rng.uniform(1, 5000);
+    const auto g = decompose_gcd(m, n);
+    EXPECT_EQ(g.a * g.c, m);
+    EXPECT_EQ(g.b * g.c, n);
+    EXPECT_EQ(std::gcd(g.a, g.b), 1u);
+  }
+}
+
+}  // namespace

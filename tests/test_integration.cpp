@@ -1,0 +1,176 @@
+// Integration tests spanning modules: full AoS pipelines combining the
+// in-place converters, the out-of-place vectorized converters, the warp
+// register transpose and the coalesced accessor; consistency between the
+// library transpose and warp-tile transposes; cycle statistics feeding
+// the baselines; and a mixed executor workflow.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "baselines/cycle_follow.hpp"
+#include "baselines/out_of_place.hpp"
+#include "core/executor.hpp"
+#include "core/transpose.hpp"
+#include "cpu/soa.hpp"
+#include "simd/coalesced.hpp"
+#include "simd/register_transpose.hpp"
+#include "simd/vectorized.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+TEST(Integration, InPlaceAndVectorizedConvertersAgree) {
+  util::xoshiro256 rng(101);
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t fields = rng.uniform(2, 32);
+    const std::size_t count = rng.uniform(50, 20000);
+    std::vector<float> aos(count * fields);
+    for (std::size_t l = 0; l < aos.size(); ++l) {
+      aos[l] = static_cast<float>(l);
+    }
+    // Out-of-place via register tiles.
+    std::vector<float> soa_oop(aos.size());
+    simd::aos_to_soa_vectorized(soa_oop.data(), aos.data(), count, fields);
+    // In place via the skinny engine.
+    auto soa_ip = aos;
+    aos_to_soa(soa_ip.data(), count, fields);
+    ASSERT_EQ(soa_ip, soa_oop) << count << "x" << fields;
+  }
+}
+
+TEST(Integration, WarpTileTransposeEqualsLibraryTranspose) {
+  // Transposing an m x 32 matrix through per-warp register tiles (one
+  // column-block at a time) must equal the library's in-place transpose.
+  constexpr unsigned kWidth = 32;
+  for (unsigned m : {2u, 3u, 7u, 8u, 16u, 31u}) {
+    const std::size_t tiles = 9;
+    const std::size_t rows = m;
+    const std::size_t cols = kWidth * tiles;
+    // AoS view: `cols` structures of m fields = cols x m row-major.
+    auto aos = util::iota_matrix<std::uint32_t>(cols, m);
+    // Library: transpose to m x cols (the SoA layout).
+    auto via_library = aos;
+    transpose(via_library.data(), cols, m);
+
+    // Warp path: each warp loads 32 structures and stores them into the
+    // SoA layout register-row by register-row.
+    std::vector<std::uint32_t> via_warp(aos.size());
+    const auto mm = simd::warp_tile_math(m, kWidth);
+    simd::warp<std::uint32_t> w(kWidth, m);
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      simd::warp_load_structs(w, mm, aos.data() + tile * kWidth * m);
+      for (unsigned r = 0; r < m; ++r) {
+        for (unsigned t = 0; t < kWidth; ++t) {
+          via_warp[r * cols + tile * kWidth + t] = w.reg(r, t);
+        }
+      }
+    }
+    ASSERT_EQ(via_warp, via_library) << "m=" << m;
+    (void)rows;
+  }
+}
+
+TEST(Integration, CoalescedPtrPipelineMatchesScalarPipeline) {
+  struct sample {
+    float value;
+    std::uint32_t tag;
+  };
+  constexpr unsigned kWidth = 32;
+  constexpr std::size_t kCount = kWidth * 40;
+  std::vector<sample> a(kCount);
+  std::vector<sample> b(kCount);
+  for (std::size_t k = 0; k < kCount; ++k) {
+    a[k] = b[k] = {static_cast<float>(k), static_cast<std::uint32_t>(k)};
+  }
+  // Scalar pipeline.
+  for (auto& s : a) {
+    s.value = s.value * 2 + 1;
+    s.tag ^= 0xffu;
+  }
+  // Warp-cooperative pipeline through coalesced_ptr.
+  simd::coalesced_ptr<sample> cp(b.data(), kWidth);
+  std::vector<sample> batch(kWidth);
+  for (std::size_t first = 0; first < kCount; first += kWidth) {
+    cp.load_batch(first, batch);
+    for (auto& s : batch) {
+      s.value = s.value * 2 + 1;
+      s.tag ^= 0xffu;
+    }
+    cp.store_batch(first, batch);
+  }
+  for (std::size_t k = 0; k < kCount; ++k) {
+    ASSERT_EQ(a[k].value, b[k].value) << k;
+    ASSERT_EQ(a[k].tag, b[k].tag) << k;
+  }
+}
+
+TEST(Integration, AllTransposersAgreeOnOneWorkload) {
+  // Library engines, both baselines and the out-of-place reference all
+  // produce identical buffers.
+  const std::uint64_t m = 84;
+  const std::uint64_t n = 132;
+  const auto src = util::iota_matrix<std::uint64_t>(m, n);
+  std::vector<std::vector<std::uint64_t>> results;
+
+  for (engine_kind eng : {engine_kind::reference, engine_kind::blocked}) {
+    options opts;
+    opts.engine = eng;
+    auto a = src;
+    transpose(a.data(), m, n, storage_order::row_major, opts);
+    results.push_back(std::move(a));
+  }
+  {
+    auto a = src;
+    baselines::cycle_following_transpose(a.data(), m, n);
+    results.push_back(std::move(a));
+  }
+  {
+    auto a = src;
+    baselines::out_of_place_transpose(a.data(), m, n);
+    results.push_back(std::move(a));
+  }
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    ASSERT_EQ(results[k], results[0]) << "variant " << k;
+  }
+}
+
+TEST(Integration, CycleStatisticsPredictCycleFollowingWork) {
+  // The sum of cycle lengths equals the number of moved elements, which
+  // is what the bitvector transposer actually moves.
+  const std::uint64_t m = 30;
+  const std::uint64_t n = 42;
+  const auto lengths = baselines::transpose_cycle_lengths(m, n);
+  const std::uint64_t moved = std::accumulate(
+      lengths.begin(), lengths.end(), std::uint64_t{0});
+  EXPECT_EQ(moved, m * n - 2);
+}
+
+TEST(Integration, ExecutorChainAcrossShapes) {
+  // A 3-stage pipeline: AoS -> SoA (skinny), square transpose (blocked),
+  // back again — using planned executors, verifying against a scalar
+  // model.
+  const std::size_t count = 64 * 64;
+  const std::size_t fields = 16;
+  auto data = util::iota_matrix<std::uint32_t>(count, fields);
+  const auto src = data;
+
+  transposer<std::uint32_t> to_soa(count, fields);
+  transposer<std::uint32_t> back(fields, count);
+  for (int round = 0; round < 3; ++round) {
+    to_soa(data.data());
+    // Field-major now; a cheap model check on one field.
+    for (std::size_t s = 0; s < count; s += 977) {
+      ASSERT_EQ(data[3 * count + s], src[s * fields + 3]);
+    }
+    back(data.data());
+    ASSERT_EQ(data, src) << "round " << round;
+  }
+}
+
+}  // namespace

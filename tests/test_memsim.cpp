@@ -1,0 +1,199 @@
+// Tests for the memory-coalescing model behind Figures 8-9: segment
+// counting rules, the analytic invariants of each access pattern, and the
+// qualitative curve shapes the paper reports (C2R ≈ peak everywhere,
+// direct access collapsing by up to the 45x the abstract cites).
+
+#include "memsim/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace::memsim;
+namespace util = inplace::util;
+
+memory_params k20c() { return memory_params{}; }
+
+TEST(Coalescer, FullyCoalescedWarpIsOneTransaction) {
+  // 32 lanes x 4 bytes consecutive = one 128-byte segment.
+  const coalescer co(k20c());
+  std::vector<std::uint64_t> addrs(32);
+  for (unsigned t = 0; t < 32; ++t) {
+    addrs[t] = 4096 + 4 * t;
+  }
+  const traffic t = co.instruction(addrs, 4);
+  EXPECT_EQ(t.transactions, 1u);
+  EXPECT_EQ(t.useful_bytes, 128u);
+  EXPECT_DOUBLE_EQ(t.efficiency(), 1.0);
+}
+
+TEST(Coalescer, MisalignedWarpTouchesTwoSegments) {
+  const coalescer co(k20c());
+  std::vector<std::uint64_t> addrs(32);
+  for (unsigned t = 0; t < 32; ++t) {
+    addrs[t] = 4096 + 64 + 4 * t;  // straddles a 128B boundary
+  }
+  EXPECT_EQ(co.instruction(addrs, 4).transactions, 2u);
+}
+
+TEST(Coalescer, FullyScatteredWarpPaysPerLane) {
+  const coalescer co(k20c());
+  std::vector<std::uint64_t> addrs(32);
+  for (unsigned t = 0; t < 32; ++t) {
+    addrs[t] = static_cast<std::uint64_t>(t) * 4096;
+  }
+  const traffic t = co.instruction(addrs, 4);
+  EXPECT_EQ(t.transactions, 32u);
+  EXPECT_NEAR(t.efficiency(), 4.0 / 128.0, 1e-12);
+}
+
+TEST(Coalescer, DuplicateAddressesCoalesce) {
+  const coalescer co(k20c());
+  std::vector<std::uint64_t> addrs(32, 512);
+  EXPECT_EQ(co.instruction(addrs, 4).transactions, 1u);
+}
+
+TEST(Coalescer, WideAccessSpansMultipleSegments) {
+  const coalescer co(k20c());
+  const std::uint64_t addr[] = {0};
+  EXPECT_EQ(co.instruction(addr, 512).transactions, 4u);
+}
+
+TEST(Coalescer, EmptyInstructionIsFree) {
+  const coalescer co(k20c());
+  EXPECT_EQ(co.instruction({}, 4).transactions, 0u);
+  const std::uint64_t addr[] = {0};
+  EXPECT_EQ(co.instruction(addr, 0).transactions, 0u);
+}
+
+TEST(Patterns, C2RUnitStrideIsNearPeak) {
+  // The transpose-based access reads contiguous warp tiles: efficiency
+  // must be ~1 for every struct size (the flat top line of Figure 8).
+  for (std::uint64_t sb : {8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    pattern_params p;
+    p.struct_bytes = sb;
+    const traffic t = unit_stride_c2r(p);
+    EXPECT_GT(t.efficiency(), 0.95) << "struct " << sb;
+  }
+}
+
+TEST(Patterns, DirectUnitStrideWastesBandwidthOnLargeStructs) {
+  // Element-wise strided access: every 4-byte element pays a whole
+  // segment once structures exceed the segment size.
+  pattern_params p;
+  p.struct_bytes = 64;
+  const traffic direct = unit_stride_direct(p);
+  const traffic c2r = unit_stride_c2r(p);
+  EXPECT_LT(direct.efficiency(), 0.2);
+  EXPECT_GT(c2r.predicted_gbs(p.mem.peak_gbs) /
+                direct.predicted_gbs(p.mem.peak_gbs),
+            5.0);
+}
+
+TEST(Patterns, DirectDegradesMonotonicallyWithStructSize) {
+  pattern_params p;
+  double prev = 1e9;
+  for (std::uint64_t sb : {4u, 8u, 16u, 32u, 64u}) {
+    p.struct_bytes = sb;
+    const double gbs = unit_stride_direct(p).predicted_gbs(p.mem.peak_gbs);
+    EXPECT_LE(gbs, prev + 1e-9) << "struct " << sb;
+    prev = gbs;
+  }
+}
+
+TEST(Patterns, VectorSitsBetweenDirectAndC2R) {
+  // 16-byte native vector accesses beat element-wise access but cannot
+  // reach the transpose (Figure 8's middle curve) once structures are
+  // larger than one vector.
+  for (std::uint64_t sb : {32u, 48u, 64u}) {
+    pattern_params p;
+    p.struct_bytes = sb;
+    const double d = unit_stride_direct(p).predicted_gbs(180);
+    const double v = unit_stride_vector(p).predicted_gbs(180);
+    const double c = unit_stride_c2r(p).predicted_gbs(180);
+    EXPECT_GT(v, d) << sb;
+    EXPECT_GT(c, v) << sb;
+  }
+}
+
+TEST(Patterns, UpTo45xGapMatchesAbstract) {
+  // The abstract's headline: up to 45x faster than compiler-generated
+  // accesses.  Pure per-instruction coalescing caps the modelled gap at
+  // segment/element = 32x (hit once structures reach one segment); the
+  // remaining factor in the paper's 45x comes from effects outside this
+  // model (store write-allocate, ECC).  EXPERIMENTS.md records this.
+  pattern_params p;
+  p.struct_bytes = 128;  // one full segment per element access
+  const double d = unit_stride_direct(p).predicted_gbs(180);
+  const double c = unit_stride_c2r(p).predicted_gbs(180);
+  EXPECT_GT(c / d, 30.0);
+  EXPECT_LE(c / d, 45.0);
+}
+
+TEST(Patterns, RandomC2RImprovesWithStructSize) {
+  // Figure 9: cooperative per-structure access amortizes segment waste as
+  // structures approach the segment size.
+  util::xoshiro256 rng1(1);
+  util::xoshiro256 rng2(1);
+  pattern_params small;
+  small.struct_bytes = 8;
+  pattern_params large;
+  large.struct_bytes = 64;
+  const double g_small = random_c2r(small, rng1).predicted_gbs(180);
+  const double g_large = random_c2r(large, rng2).predicted_gbs(180);
+  EXPECT_GT(g_large, g_small * 2);
+}
+
+TEST(Patterns, RandomC2RBeatsRandomDirect) {
+  for (std::uint64_t sb : {16u, 32u, 64u}) {
+    pattern_params p;
+    p.struct_bytes = sb;
+    util::xoshiro256 r1(sb);
+    util::xoshiro256 r2(sb);
+    const double d = random_direct(p, r1).predicted_gbs(180);
+    const double c = random_c2r(p, r2).predicted_gbs(180);
+    EXPECT_GE(c, d) << sb;
+  }
+}
+
+TEST(Sweep, ProducesOnePointPerSize) {
+  pattern_params p;
+  p.num_structs = 1 << 10;
+  const std::vector<std::uint64_t> sizes = {8, 16, 24, 32};
+  const auto curve =
+      sweep_struct_sizes(access_kind::c2r, locality::unit_stride, sizes, p);
+  ASSERT_EQ(curve.size(), sizes.size());
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    EXPECT_EQ(curve[k].struct_bytes, sizes[k]);
+    EXPECT_GT(curve[k].gbs, 0.0);
+    EXPECT_LE(curve[k].efficiency, 1.0);
+  }
+}
+
+TEST(Sweep, RejectsNonMultipleStructSize) {
+  pattern_params p;
+  EXPECT_THROW(sweep_struct_sizes(access_kind::direct, locality::unit_stride,
+                                  {6}, p),
+               std::invalid_argument);
+}
+
+TEST(Traffic, AccumulationAndEfficiencyBounds) {
+  traffic a;
+  a.useful_bytes = 100;
+  a.transactions = 1;
+  a.segment_bytes = 128;
+  traffic b = a;
+  a += b;
+  EXPECT_EQ(a.useful_bytes, 200u);
+  EXPECT_EQ(a.transactions, 2u);
+  EXPECT_LE(a.efficiency(), 1.0);
+  const traffic zero;
+  EXPECT_EQ(zero.efficiency(), 0.0);
+}
+
+}  // namespace

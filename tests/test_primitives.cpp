@@ -1,0 +1,205 @@
+// Tests for the permutation and rotation primitives (core/permute.hpp,
+// core/rotate.hpp) against brute-force models: row gathers/scatters,
+// column gathers, cycle discovery and replay, coarse/fine/naive rotation
+// equivalence, the window-normalization logic, and the fallback path for
+// amount functions that violate the sub-row window assumption.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/permute.hpp"
+#include "core/rotate.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+using namespace inplace::detail;
+
+// Brute-force rotation model: dst[i][j] = src[(i + amount(j)) % m][j].
+template <typename AmountFn>
+std::vector<std::uint32_t> rotated_model(const std::vector<std::uint32_t>& a,
+                                         std::uint64_t m, std::uint64_t n,
+                                         AmountFn amount) {
+  std::vector<std::uint32_t> out(a.size());
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      out[i * n + j] = a[(i + amount(j)) % m * n + j];
+    }
+  }
+  return out;
+}
+
+TEST(Primitives, RowGatherAndScatterAreInverses) {
+  const std::uint64_t n = 17;
+  std::vector<std::uint32_t> row(n);
+  util::fill_iota(std::span<std::uint32_t>(row));
+  const auto src = row;
+  std::vector<std::uint32_t> tmp(n);
+  const auto idx = [n](std::uint64_t j) { return (j * 5 + 3) % n; };
+  row_gather_inplace(row.data(), n, tmp.data(), idx);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    EXPECT_EQ(row[j], src[idx(j)]);
+  }
+  row_scatter_inplace(row.data(), n, tmp.data(), idx);
+  EXPECT_EQ(row, src);
+}
+
+TEST(Primitives, ColumnGatherMatchesModel) {
+  const std::uint64_t m = 9;
+  const std::uint64_t n = 5;
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  const auto src = a;
+  std::vector<std::uint32_t> tmp(m);
+  const auto idx = [m](std::uint64_t i) { return (i * 2 + 1) % m; };
+  column_gather_inplace(a.data(), m, n, 3, tmp.data(), idx);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    EXPECT_EQ(a[i * n + 3], src[idx(i) * n + 3]);
+    EXPECT_EQ(a[i * n + 0], src[i * n + 0]);  // other columns untouched
+  }
+}
+
+TEST(Primitives, FindCyclesCoversPermutation) {
+  const std::uint64_t m = 12;
+  const auto perm = [m](std::uint64_t i) { return (i * 5) % m; };  // gcd=1
+  std::vector<std::uint8_t> visited(m);
+  std::vector<std::uint64_t> cycles;
+  find_cycles(m, perm, visited, cycles);
+  // Every element visited exactly once.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(visited[i]) << i;
+  }
+  // Fixed points are not recorded as cycles.
+  std::vector<std::uint8_t> v2(m);
+  std::vector<std::uint64_t> c2;
+  find_cycles(m, [](std::uint64_t i) { return i; }, v2, c2);
+  EXPECT_TRUE(c2.empty());
+}
+
+TEST(Primitives, PermuteRowsInGroupMatchesModel) {
+  const std::uint64_t m = 10;
+  const std::uint64_t n = 8;
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  const auto src = a;
+  const auto perm = [m](std::uint64_t i) { return (i * 3 + 1) % m; };
+  std::vector<std::uint8_t> visited(m);
+  std::vector<std::uint64_t> cycles;
+  find_cycles(m, perm, visited, cycles);
+  std::vector<std::uint32_t> tmp(n);
+  // Apply in two groups of width 4.
+  permute_rows_in_group(a.data(), n, 0, 4, perm, cycles, tmp.data());
+  permute_rows_in_group(a.data(), n, 4, 4, perm, cycles, tmp.data());
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(a[i * n + j], src[perm(i) * n + j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(Primitives, CoarseRotateEqualsNaive) {
+  util::xoshiro256 rng(31);
+  for (int t = 0; t < 30; ++t) {
+    const std::uint64_t m = rng.uniform(2, 40);
+    const std::uint64_t n = rng.uniform(4, 24);
+    const std::uint64_t w = rng.uniform(1, n + 1);
+    const std::uint64_t k = rng.uniform(0, m);
+    auto a = util::iota_matrix<std::uint32_t>(m, n);
+    const auto want = rotated_model(a, m, n, [&](std::uint64_t j) {
+      return j < w ? k : 0;  // rotate only the group at j0 = 0
+    });
+    std::vector<std::uint32_t> sub(w);
+    coarse_rotate_group(a.data(), m, n, 0, w, k, sub.data());
+    ASSERT_EQ(a, want) << m << "x" << n << " w=" << w << " k=" << k;
+  }
+}
+
+TEST(Primitives, FineRotateEqualsNaive) {
+  util::xoshiro256 rng(32);
+  for (int t = 0; t < 30; ++t) {
+    const std::uint64_t m = rng.uniform(3, 50);
+    const std::uint64_t n = rng.uniform(2, 16);
+    const std::uint64_t w = n;
+    const std::uint64_t max_res = std::min(w, m) - 1;
+    std::vector<std::uint64_t> res(w);
+    for (auto& r : res) {
+      r = max_res == 0 ? 0 : rng.uniform(0, max_res + 1);
+    }
+    auto a = util::iota_matrix<std::uint32_t>(m, n);
+    const auto want = rotated_model(
+        a, m, n, [&](std::uint64_t j) { return res[j]; });
+    std::vector<std::uint32_t> head(std::max<std::uint64_t>(1, max_res) * w);
+    fine_rotate_group(a.data(), m, n, 0, w, res.data(), head.data());
+    ASSERT_EQ(a, want) << m << "x" << n;
+  }
+}
+
+TEST(Primitives, GroupRotateHandlesAllPaperAmountFamilies) {
+  // The four rotation families the engines use: +j, -j, +⌊j/b⌋, -⌊j/b⌋.
+  util::xoshiro256 rng(33);
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t m = rng.uniform(2, 60);
+    const std::uint64_t n = rng.uniform(2, 60);
+    const std::uint64_t b = rng.uniform(1, 8);
+    const std::uint64_t width = rng.uniform(4, 20);
+    const int family = static_cast<int>(rng.uniform(0, 4));
+    const auto amount = [&](std::uint64_t j) -> std::uint64_t {
+      switch (family) {
+        case 0:
+          return j % m;
+        case 1:
+          return (m - j % m) % m;
+        case 2:
+          return (j / b) % m;
+        default:
+          return (m - (j / b) % m) % m;
+      }
+    };
+    auto a = util::iota_matrix<std::uint32_t>(m, n);
+    const auto want = rotated_model(a, m, n, amount);
+    workspace<std::uint32_t> ws;
+    ws.reserve(m, n, width);
+    rotate_columns_blocked(a.data(), m, n, width, amount, ws);
+    ASSERT_EQ(a, want) << "family " << family << " " << m << "x" << n
+                       << " b=" << b << " w=" << width;
+  }
+}
+
+TEST(Primitives, GroupRotateFallsBackOnWindowViolation) {
+  // A pseudo-random amount function violates the window assumption; the
+  // group machinery must detect it and fall back to naive rotation.
+  const std::uint64_t m = 29;
+  const std::uint64_t n = 16;
+  const auto amount = [m](std::uint64_t j) { return (j * 13 + 5) % m; };
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  const auto want = rotated_model(a, m, n, amount);
+  workspace<std::uint32_t> ws;
+  ws.reserve(m, n, 8);
+  rotate_columns_blocked(a.data(), m, n, 8, amount, ws);
+  EXPECT_EQ(a, want);
+}
+
+TEST(Primitives, RotateDegenerateRows) {
+  // m == 1: rotation is the identity regardless of amounts.
+  auto a = util::iota_matrix<std::uint32_t>(1, 10);
+  const auto src = a;
+  workspace<std::uint32_t> ws;
+  ws.reserve(1, 10, 4);
+  rotate_columns_blocked(a.data(), 1, 10, 4,
+                         [](std::uint64_t j) { return j; }, ws);
+  EXPECT_EQ(a, src);
+}
+
+TEST(Primitives, WorkspaceReserveSizes) {
+  workspace<double> ws;
+  ws.reserve(100, 30, 8);
+  EXPECT_EQ(ws.line.size(), 100u);  // max(m, n)
+  EXPECT_EQ(ws.head.size(), 64u);   // width^2
+  EXPECT_EQ(ws.subrow.size(), 8u);
+  EXPECT_EQ(ws.visited.size(), 100u);
+  EXPECT_EQ(ws.offsets.size(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Focused tests for the skinny engine (cpu/skinny.hpp), which carries the
+// trickiest index reasoning in the library: fused pre-rotation + row
+// shuffle with a head buffer (C2R), and the mirrored bottom-up sweep with
+// a tail buffer (R2C).  Exercises every boundary of that reasoning:
+// c = n (n divides m), c = 1 (coprime), b = 1, m barely above n, and all
+// structure sizes in the paper's AoS range.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/transpose.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+struct shape {
+  std::uint64_t m;
+  std::uint64_t n;
+  const char* why;
+};
+
+std::ostream& operator<<(std::ostream& os, const shape& s) {
+  return os << s.m << "x" << s.n << " (" << s.why << ")";
+}
+
+const shape kSkinnyShapes[] = {
+    {33, 32, "m barely above n"},
+    {64, 32, "n divides m: c = n, b = 1"},
+    {96, 32, "c = n again"},
+    {97, 32, "coprime: no pre-rotation"},
+    {100, 25, "c = 25 = n"},
+    {101, 25, "coprime"},
+    {48, 12, "c = 12 = n"},
+    {50, 12, "c = 2"},
+    {51, 12, "c = 3"},
+    {52, 12, "c = 4"},
+    {54, 12, "c = 6"},
+    {1000, 2, "minimal n"},
+    {1001, 2, "minimal n, odd m"},
+    {999, 3, "c = 3 = n"},
+    {1000, 3, "coprime"},
+    {4, 3, "tiny everything"},
+    {35, 5, "c = 5 = n"},
+    {36, 5, "coprime"},
+    {2048, 31, "prime n"},
+    {2047, 32, "m = 2^11 - 1"},
+    {527, 17, "c = 17 = n"},
+    {528, 17, "coprime"},
+};
+
+class SkinnyShapes : public ::testing::TestWithParam<shape> {};
+INSTANTIATE_TEST_SUITE_P(EdgeShapes, SkinnyShapes,
+                         ::testing::ValuesIn(kSkinnyShapes));
+
+TEST_P(SkinnyShapes, C2RMatchesReferenceEngine) {
+  const auto [m, n, why] = GetParam();
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  options reference;
+  reference.engine = engine_kind::reference;
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  auto b = a;
+  c2r(a.data(), m, n, skinny);
+  c2r(b.data(), m, n, reference);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SkinnyShapes, R2CMatchesReferenceEngine) {
+  const auto [m, n, why] = GetParam();
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  options reference;
+  reference.engine = engine_kind::reference;
+  auto a = util::iota_matrix<std::uint32_t>(m, n);
+  auto b = a;
+  r2c(a.data(), m, n, skinny);
+  r2c(b.data(), m, n, reference);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SkinnyShapes, RoundTrip) {
+  const auto [m, n, why] = GetParam();
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  auto a = util::iota_matrix<std::uint64_t>(m, n);
+  const auto src = a;
+  c2r(a.data(), m, n, skinny);
+  r2c(a.data(), m, n, skinny);
+  EXPECT_EQ(a, src);
+}
+
+TEST_P(SkinnyShapes, ByteElements) {
+  // One-byte elements give the head/tail buffers the least slack.
+  const auto [m, n, why] = GetParam();
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  std::vector<std::uint8_t> a(m * n);
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    a[l] = static_cast<std::uint8_t>(l * 37 + 11);
+  }
+  const auto src = a;
+  c2r(a.data(), m, n, skinny);
+  const auto want =
+      util::reference_transpose(std::span<const std::uint8_t>(src), m, n);
+  EXPECT_EQ(a, want);
+}
+
+TEST(SkinnyAllFieldCounts, EveryAoSStructSize) {
+  // Structure sizes 2..32 (the Figure 7 workload) over several counts,
+  // including counts adjacent to multiples of the structure size.
+  util::xoshiro256 rng(55);
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  for (std::uint64_t n = 2; n <= 32; ++n) {
+    for (const std::uint64_t base : {std::uint64_t{257}, 8 * n, 8 * n + 1,
+                                     rng.uniform(100, 3000)}) {
+      const std::uint64_t m = std::max<std::uint64_t>(base, n + 1);
+      auto a = util::iota_matrix<std::uint32_t>(m, n);
+      const auto src = a;
+      c2r(a.data(), m, n, skinny);
+      const auto want = util::reference_transpose(
+          std::span<const std::uint32_t>(src), m, n);
+      ASSERT_EQ(util::first_mismatch(std::span<const std::uint32_t>(a),
+                                     std::span<const std::uint32_t>(want)),
+                -1)
+          << m << "x" << n;
+    }
+  }
+}
+
+TEST(SkinnyRandomized, AgainstBlockedEngine) {
+  util::xoshiro256 rng(56);
+  options skinny;
+  skinny.engine = engine_kind::skinny;
+  options blocked;
+  blocked.engine = engine_kind::blocked;
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t n = rng.uniform(2, 33);
+    const std::uint64_t m = rng.uniform(n + 1, 5000);
+    auto a = util::iota_matrix<std::uint32_t>(m, n);
+    auto b = a;
+    c2r(a.data(), m, n, skinny);
+    c2r(b.data(), m, n, blocked);
+    ASSERT_EQ(a, b) << m << "x" << n;
+
+    r2c(a.data(), m, n, skinny);
+    r2c(b.data(), m, n, blocked);
+    ASSERT_EQ(a, b) << m << "x" << n << " (inverse)";
+  }
+}
+
+}  // namespace

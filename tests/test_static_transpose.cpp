@@ -1,0 +1,112 @@
+// Tests for the compile-time register transpose (simd/static_transpose):
+// equality with the out-of-place reference for every structure size in
+// the paper's 2..32 range at warp width 32 (plus narrower widths),
+// inverse round trips, agreement with the runtime warp model, and
+// constexpr evaluability of the index tables.
+
+#include "simd/static_transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "simd/register_transpose.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace inplace;
+
+template <unsigned M, unsigned W>
+void check_static_tile() {
+  simd::static_tile<std::uint32_t, M, W> tile{};
+  for (unsigned r = 0; r < M; ++r) {
+    for (unsigned t = 0; t < W; ++t) {
+      tile[r][t] = r * W + t;
+    }
+  }
+  const auto original = tile;
+
+  simd::static_c2r<std::uint32_t, M, W>(tile);
+
+  // Flattened, the tile must equal the reference transpose's row-major
+  // linearization (Theorem 1).
+  const auto src = util::iota_matrix<std::uint32_t>(M, W);
+  const auto want = util::reference_transpose(
+      std::span<const std::uint32_t>(src), M, W);
+  for (unsigned r = 0; r < M; ++r) {
+    for (unsigned t = 0; t < W; ++t) {
+      ASSERT_EQ(tile[r][t], want[r * W + t])
+          << M << "x" << W << " at reg " << r << " lane " << t;
+    }
+  }
+
+  // Agreement with the runtime warp model.
+  simd::warp<std::uint32_t> w(W, M);
+  w.load_coalesced(src.data());
+  const auto mm = simd::warp_tile_math(M, W);
+  simd::c2r_registers(w, mm);
+  for (unsigned r = 0; r < M; ++r) {
+    for (unsigned t = 0; t < W; ++t) {
+      ASSERT_EQ(tile[r][t], w.reg(r, t));
+    }
+  }
+
+  // Inverse round trip.
+  simd::static_r2c<std::uint32_t, M, W>(tile);
+  ASSERT_EQ(tile, original) << M << "x" << W;
+}
+
+template <unsigned W, unsigned... Ms>
+void check_all_sizes(std::integer_sequence<unsigned, Ms...>) {
+  (check_static_tile<Ms + 2, W>(), ...);
+}
+
+TEST(StaticTranspose, AllStructSizesAtWarpWidth32) {
+  // m = 2..32, the paper's AoS structure-size range.
+  check_all_sizes<32>(std::make_integer_sequence<unsigned, 31>{});
+}
+
+TEST(StaticTranspose, NarrowerWidths) {
+  check_static_tile<3, 4>();
+  check_static_tile<4, 4>();
+  check_static_tile<5, 8>();
+  check_static_tile<8, 8>();
+  check_static_tile<12, 16>();
+  check_static_tile<16, 16>();
+  check_static_tile<27, 16>();
+}
+
+TEST(StaticTranspose, IndexTablesAreCompileTimeConstants) {
+  using math = simd::static_tile_math<7, 32>;
+  static_assert(math::c == 1);
+  static_assert(math::a == 7);
+  static_assert(math::b == 32);
+  static_assert(math::a_inv * math::a % math::b == 1);
+  static_assert(math::prerotate[31] == 0);  // c == 1: no pre-rotation
+  static_assert(math::q_perm.size() == 7);
+
+  using math2 = simd::static_tile_math<8, 32>;
+  static_assert(math2::c == 8);
+  static_assert(math2::prerotate[31] == 7);  // ⌊31/4⌋
+  SUCCEED();
+}
+
+TEST(StaticTranspose, ConstexprEvaluation) {
+  // The whole transpose is usable in a constant expression.
+  constexpr auto done = [] {
+    simd::static_tile<int, 4, 8> tile{};
+    for (unsigned r = 0; r < 4; ++r) {
+      for (unsigned t = 0; t < 8; ++t) {
+        tile[r][t] = static_cast<int>(r * 8 + t);
+      }
+    }
+    simd::static_c2r<int, 4, 8>(tile);
+    return tile;
+  }();
+  // Element (0, 1) of the transposed 8x4 tile is source (1, 0) = 8.
+  static_assert(done[0][1] == 8);
+  SUCCEED();
+}
+
+}  // namespace

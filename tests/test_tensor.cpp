@@ -1,0 +1,132 @@
+// Tests for the 3-D in-place axis permutation (core/tensor.hpp): every
+// axis order against a brute-force out-of-place model, degenerate
+// extents, inverse compositions, and validation.
+
+#include "core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+/// Brute-force model: returns the row-major buffer of the permuted tensor.
+std::vector<std::uint32_t> permuted_model(
+    const std::vector<std::uint32_t>& in, std::size_t d0, std::size_t d1,
+    std::size_t d2, const axis_perm& perm) {
+  const std::size_t dims[3] = {d0, d1, d2};
+  const std::size_t out_dims[3] = {dims[perm[0]], dims[perm[1]],
+                                   dims[perm[2]]};
+  std::vector<std::uint32_t> out(in.size());
+  for (std::size_t i0 = 0; i0 < d0; ++i0) {
+    for (std::size_t i1 = 0; i1 < d1; ++i1) {
+      for (std::size_t i2 = 0; i2 < d2; ++i2) {
+        const std::size_t idx[3] = {i0, i1, i2};
+        const std::size_t a = idx[perm[0]];
+        const std::size_t b = idx[perm[1]];
+        const std::size_t c = idx[perm[2]];
+        out[(a * out_dims[1] + b) * out_dims[2] + c] =
+            in[(i0 * d1 + i1) * d2 + i2];
+      }
+    }
+  }
+  return out;
+}
+
+const axis_perm kAllPerms[] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                               {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+
+class TensorPerms : public ::testing::TestWithParam<axis_perm> {};
+INSTANTIATE_TEST_SUITE_P(AllOrders, TensorPerms,
+                         ::testing::ValuesIn(kAllPerms));
+
+TEST_P(TensorPerms, MatchesBruteForceOnFixedShape) {
+  const axis_perm perm = GetParam();
+  const std::size_t d0 = 7;
+  const std::size_t d1 = 12;
+  const std::size_t d2 = 5;
+  std::vector<std::uint32_t> a(d0 * d1 * d2);
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    a[l] = static_cast<std::uint32_t>(l);
+  }
+  const auto want = permuted_model(a, d0, d1, d2, perm);
+  permute3(a.data(), d0, d1, d2, perm);
+  EXPECT_EQ(a, want);
+}
+
+TEST_P(TensorPerms, MatchesBruteForceOnRandomShapes) {
+  const axis_perm perm = GetParam();
+  util::xoshiro256 rng(perm[0] * 9 + perm[1] * 3 + perm[2]);
+  for (int t = 0; t < 15; ++t) {
+    const std::size_t d0 = rng.uniform(1, 24);
+    const std::size_t d1 = rng.uniform(1, 24);
+    const std::size_t d2 = rng.uniform(1, 24);
+    std::vector<std::uint32_t> a(d0 * d1 * d2);
+    for (std::size_t l = 0; l < a.size(); ++l) {
+      a[l] = static_cast<std::uint32_t>(l * 2654435761u);
+    }
+    const auto want = permuted_model(a, d0, d1, d2, perm);
+    permute3(a.data(), d0, d1, d2, perm);
+    ASSERT_EQ(a, want) << d0 << "x" << d1 << "x" << d2;
+  }
+}
+
+TEST(Tensor, InversePermRoundTrips) {
+  // Applying a permutation and then its inverse (on the permuted extents)
+  // restores the original buffer.
+  const std::size_t d[3] = {11, 8, 13};
+  util::xoshiro256 rng(5);
+  for (const auto& perm : kAllPerms) {
+    axis_perm inv{};
+    for (int k = 0; k < 3; ++k) {
+      inv[perm[k]] = k;
+    }
+    std::vector<std::uint32_t> a(d[0] * d[1] * d[2]);
+    for (auto& v : a) {
+      v = static_cast<std::uint32_t>(rng());
+    }
+    const auto src = a;
+    permute3(a.data(), d[0], d[1], d[2], perm);
+    permute3(a.data(), d[perm[0]], d[perm[1]], d[perm[2]], inv);
+    ASSERT_EQ(a, src) << perm[0] << perm[1] << perm[2];
+  }
+}
+
+TEST(Tensor, DegenerateExtents) {
+  std::vector<std::uint32_t> a = {1, 2, 3, 4, 5, 6};
+  auto b = a;
+  permute3(a.data(), 1, 2, 3, {1, 2, 0});  // leading singleton
+  const auto want = permuted_model(b, 1, 2, 3, {1, 2, 0});
+  EXPECT_EQ(a, want);
+  EXPECT_NO_THROW(permute3<std::uint32_t>(nullptr, 0, 3, 3, {2, 1, 0}));
+}
+
+TEST(Tensor, BigSlabSmoke) {
+  // A realistic attention-shaped tensor: [batch][seq][head_dim].
+  const std::size_t d0 = 6;
+  const std::size_t d1 = 128;
+  const std::size_t d2 = 64;
+  std::vector<std::uint32_t> a(d0 * d1 * d2);
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    a[l] = static_cast<std::uint32_t>(l);
+  }
+  const auto want = permuted_model(a, d0, d1, d2, {2, 1, 0});
+  permute3(a.data(), d0, d1, d2, {2, 1, 0});
+  EXPECT_EQ(a, want);
+}
+
+TEST(Tensor, Validation) {
+  std::vector<std::uint32_t> a(8);
+  EXPECT_THROW(permute3(a.data(), 2, 2, 2, {0, 1, 3}), error);
+  EXPECT_THROW(permute3(a.data(), 2, 2, 2, {0, 1, 1}), error);
+  EXPECT_THROW(permute3(a.data(), 2, 2, 2, {-1, 1, 2}), error);
+  EXPECT_THROW(permute3<std::uint32_t>(nullptr, 2, 2, 2, {2, 1, 0}),
+               error);
+}
+
+}  // namespace

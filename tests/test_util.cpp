@@ -1,0 +1,290 @@
+// Tests for the shared infrastructure (src/util): RNG determinism and
+// bounds, order statistics, histograms, CSV quoting, ASCII plots, the
+// benchmark-harness CLI, timers and thread guards.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/ascii_plot.hpp"
+#include "util/bench_harness.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/threads.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace inplace::util;
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  xoshiro256 a(123);
+  xoshiro256 b(123);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  xoshiro256 a(1);
+  xoshiro256 b(2);
+  int equal = 0;
+  for (int k = 0; k < 64; ++k) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  xoshiro256 rng(7);
+  for (int k = 0; k < 10000; ++k) {
+    const auto v = rng.uniform(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  xoshiro256 rng(8);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(rng.uniform(5, 6), 5u);
+  }
+}
+
+TEST(Rng, UniformCoversRangeRoughlyEvenly) {
+  xoshiro256 rng(9);
+  int counts[8] = {};
+  const int draws = 80000;
+  for (int k = 0; k < draws; ++k) {
+    ++counts[rng.uniform(0, 8)];
+  }
+  for (int bucket : counts) {
+    EXPECT_NEAR(bucket, draws / 8, draws / 8 / 5);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  xoshiro256 rng(10);
+  for (int k = 0; k < 10000; ++k) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, MedianOddAndEven) {
+  const double odd[] = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const double even[] = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileEndpointsAndInterpolation) {
+  const double v[] = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 15.0);
+}
+
+TEST(Stats, QuantileValidation) {
+  const double v[] = {1.0};
+  EXPECT_THROW((void)quantile({v, 0}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, MeanMinMaxStddev) {
+  const double v[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(min_value(v), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 9.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  const double one[] = {42.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(Histogram, BinsAndClamping) {
+  histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(11.0);  // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+  histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::out_of_range);
+}
+
+TEST(Histogram, RenderContainsCountsAndMarker) {
+  histogram h(0.0, 4.0, 4);
+  const double samples[] = {0.5, 1.5, 1.6, 3.5};
+  h.add(samples);
+  const std::string out = h.render(20, 1.55);
+  EXPECT_NE(out.find("median"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, WritesRowsWithQuoting) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "inplace_csv_test.csv";
+  {
+    csv_writer csv(path.string());
+    csv.row("m", "n", "note");
+    csv.row(3, 4, "plain");
+    csv.row(1, 2, "has,comma");
+    csv.row(5, 6, "has\"quote");
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("m,n,note\n"), std::string::npos);
+  EXPECT_NE(text.find("3,4,plain\n"), std::string::npos);
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(csv_writer("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+// --- ascii plots -------------------------------------------------------------
+
+TEST(AsciiPlot, HeatmapRendersGridAndLegend) {
+  std::vector<double> grid = {0.0, 1.0, 2.0, 3.0};
+  const std::string out = heatmap(grid, 2, 2, "title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '|'), 4);  // 2 rows x 2 bars
+}
+
+TEST(AsciiPlot, HeatmapValidatesSize) {
+  std::vector<double> grid(3);
+  EXPECT_THROW((void)heatmap(grid, 2, 2, "t"), std::invalid_argument);
+}
+
+TEST(AsciiPlot, LineChartRendersSeriesLegend) {
+  series s1{"alpha", {0, 1, 2}, {0, 5, 10}};
+  series s2{"beta", {0, 1, 2}, {10, 5, 0}};
+  const std::string out =
+      line_chart({s1, s2}, "chart", "xlab", "ylab", 40, 10);
+  EXPECT_NE(out.find("chart"), std::string::npos);
+  EXPECT_NE(out.find("o=alpha"), std::string::npos);
+  EXPECT_NE(out.find("x=beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, LineChartValidatesSeries) {
+  series bad{"bad", {0, 1}, {0}};
+  EXPECT_THROW((void)line_chart({bad}, "t", "x", "y"),
+               std::invalid_argument);
+}
+
+// --- bench harness -----------------------------------------------------------
+
+TEST(BenchHarness, ParsesFlags) {
+  const char* argv[] = {"prog", "--scale", "2.5", "--threads", "3",
+                        "--csv",  "/tmp/x.csv"};
+  const auto cfg = parse_bench_args(7, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cfg.scale, 2.5);
+  EXPECT_EQ(cfg.threads, 3);
+  ASSERT_TRUE(cfg.csv_path.has_value());
+  EXPECT_EQ(*cfg.csv_path, "/tmp/x.csv");
+}
+
+TEST(BenchHarness, RejectsBadFlags) {
+  const char* unknown[] = {"prog", "--bogus"};
+  EXPECT_THROW((void)parse_bench_args(2, const_cast<char**>(unknown)),
+               std::runtime_error);
+  const char* missing[] = {"prog", "--scale"};
+  EXPECT_THROW((void)parse_bench_args(2, const_cast<char**>(missing)),
+               std::runtime_error);
+  const char* negative[] = {"prog", "--scale", "-1"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(negative)),
+               std::runtime_error);
+}
+
+TEST(BenchHarness, SamplesScaleWithFloor) {
+  bench_config cfg;
+  cfg.scale = 0.01;
+  EXPECT_EQ(cfg.samples(100, 4), 4u);
+  cfg.scale = 2.0;
+  EXPECT_EQ(cfg.samples(100, 4), 200u);
+}
+
+// --- timer / throughput -------------------------------------------------------
+
+TEST(Timer, MeasuresElapsedTime) {
+  timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, ThroughputFormula) {
+  // Eq. 37: 2*m*n*s bytes in t seconds.
+  EXPECT_DOUBLE_EQ(transpose_throughput_gbs(1000, 1000, 8, 1.0), 0.016);
+  EXPECT_DOUBLE_EQ(transpose_throughput_gbs(1000, 1000, 8, 0.001), 16.0);
+}
+
+// --- matrix fixtures -----------------------------------------------------------
+
+TEST(MatrixFixtures, ReferenceTransposeAndMismatch) {
+  const auto a = iota_matrix<int>(2, 3);
+  const auto t = reference_transpose(std::span<const int>(a), 2, 3);
+  const std::vector<int> want = {0, 3, 1, 4, 2, 5};
+  EXPECT_EQ(t, want);
+  EXPECT_EQ(first_mismatch(std::span<const int>(t),
+                           std::span<const int>(want)),
+            -1);
+  std::vector<int> bad = want;
+  bad[4] = 99;
+  EXPECT_EQ(first_mismatch(std::span<const int>(bad),
+                           std::span<const int>(want)),
+            4);
+}
+
+TEST(MatrixFixtures, ReferenceTransposeValidatesSize) {
+  const std::vector<int> a(5);
+  EXPECT_THROW((void)reference_transpose(std::span<const int>(a), 2, 3),
+               std::invalid_argument);
+}
+
+// --- threads -------------------------------------------------------------------
+
+TEST(Threads, GuardRestoresThreadCount) {
+  const int before = hardware_threads();
+  {
+    thread_count_guard guard(1);
+    EXPECT_EQ(hardware_threads(), 1);
+  }
+  EXPECT_EQ(hardware_threads(), before);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the register-tile staged AoS<->SoA converters
+// (simd/vectorized.hpp): agreement with the scalar kernels for every
+// field count in the dispatch table, tail handling for counts that are
+// not lane multiples, round trips, and the fallback path.
+
+#include "simd/vectorized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+
+class VectorizedFields : public ::testing::TestWithParam<unsigned> {};
+INSTANTIATE_TEST_SUITE_P(AllFieldCounts, VectorizedFields,
+                         ::testing::Range(1u, 33u));
+
+TEST_P(VectorizedFields, AosToSoaMatchesScalar) {
+  const unsigned fields = GetParam();
+  // Count deliberately not a multiple of the lane width (tail path).
+  const std::size_t count = 16 * 13 + 7;
+  std::vector<float> aos(count * fields);
+  for (std::size_t l = 0; l < aos.size(); ++l) {
+    aos[l] = static_cast<float>(l);
+  }
+  std::vector<float> got(aos.size());
+  std::vector<float> want(aos.size());
+  simd::aos_to_soa_vectorized(got.data(), aos.data(), count, fields);
+  simd::aos_to_soa_direct(want.data(), aos.data(), count, fields);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(VectorizedFields, SoaToAosMatchesScalar) {
+  const unsigned fields = GetParam();
+  const std::size_t count = 16 * 9 + 3;
+  std::vector<std::uint32_t> soa(count * fields);
+  for (std::size_t l = 0; l < soa.size(); ++l) {
+    soa[l] = static_cast<std::uint32_t>(l * 2654435761u);
+  }
+  std::vector<std::uint32_t> got(soa.size());
+  std::vector<std::uint32_t> want(soa.size());
+  simd::soa_to_aos_vectorized(got.data(), soa.data(), count, fields);
+  simd::soa_to_aos_direct(want.data(), soa.data(), count, fields);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(VectorizedFields, RoundTrip) {
+  const unsigned fields = GetParam();
+  const std::size_t count = 16 * 5 + 11;
+  std::vector<double> aos(count * fields);
+  for (std::size_t l = 0; l < aos.size(); ++l) {
+    aos[l] = static_cast<double>(l) * 0.5;
+  }
+  std::vector<double> soa(aos.size());
+  std::vector<double> back(aos.size());
+  simd::aos_to_soa_vectorized(soa.data(), aos.data(), count, fields);
+  simd::soa_to_aos_vectorized(back.data(), soa.data(), count, fields);
+  EXPECT_EQ(back, aos);
+}
+
+TEST(Vectorized, LargeFieldCountsFallBack) {
+  const std::size_t fields = 40;  // > vectorized_max_fields
+  const std::size_t count = 100;
+  std::vector<float> aos(count * fields, 1.5f);
+  for (std::size_t l = 0; l < aos.size(); ++l) {
+    aos[l] = static_cast<float>(l);
+  }
+  std::vector<float> got(aos.size());
+  std::vector<float> want(aos.size());
+  simd::aos_to_soa_vectorized(got.data(), aos.data(), count, fields);
+  simd::aos_to_soa_direct(want.data(), aos.data(), count, fields);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Vectorized, DegenerateArgumentsAreNoOps) {
+  float x = 3.0f;
+  EXPECT_NO_THROW(simd::aos_to_soa_vectorized(&x, &x, 0, 4));
+  EXPECT_NO_THROW(simd::soa_to_aos_vectorized(&x, &x, 5, 0));
+}
+
+TEST(Vectorized, TinyCountsUseOnlyTheTail) {
+  for (std::size_t count : {1u, 2u, 15u}) {  // below one lane block
+    const unsigned fields = 5;
+    std::vector<int> aos(count * fields);
+    for (std::size_t l = 0; l < aos.size(); ++l) {
+      aos[l] = static_cast<int>(l);
+    }
+    std::vector<int> got(aos.size());
+    std::vector<int> want(aos.size());
+    simd::aos_to_soa_vectorized(got.data(), aos.data(), count, fields);
+    simd::aos_to_soa_direct(want.data(), aos.data(), count, fields);
+    ASSERT_EQ(got, want) << count;
+  }
+}
+
+TEST(Vectorized, RandomizedAgainstScalar) {
+  util::xoshiro256 rng(88);
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t fields = rng.uniform(2, 33);
+    const std::size_t count = rng.uniform(1, 5000);
+    std::vector<std::uint16_t> aos(count * fields);
+    for (auto& v : aos) {
+      v = static_cast<std::uint16_t>(rng());
+    }
+    std::vector<std::uint16_t> got(aos.size());
+    std::vector<std::uint16_t> want(aos.size());
+    simd::aos_to_soa_vectorized(got.data(), aos.data(), count, fields);
+    simd::aos_to_soa_direct(want.data(), aos.data(), count, fields);
+    ASSERT_EQ(got, want) << count << "x" << fields;
+  }
+}
+
+}  // namespace

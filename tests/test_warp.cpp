@@ -1,0 +1,302 @@
+// Tests for the SIMD warp model and the Section 6.2 in-register
+// transposition: primitive semantics, transpose correctness for every
+// structure size in the paper's range, the round trip behind Figure 10,
+// and the ⌈log2 m⌉-selects-per-element cost claim.
+
+#include "simd/register_transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "simd/coalesced.hpp"
+#include "simd/cpu_kernels.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace inplace;
+using simd::warp;
+
+TEST(Warp, RejectsZeroDimensions) {
+  EXPECT_THROW(warp<int>(0, 4), std::invalid_argument);
+  EXPECT_THROW(warp<int>(4, 0), std::invalid_argument);
+}
+
+TEST(Warp, ShflMovesAcrossLanes) {
+  warp<int> w(8, 1);
+  for (unsigned t = 0; t < 8; ++t) {
+    w.reg(0, t) = static_cast<int>(t);
+  }
+  w.shfl(0, [](unsigned t) { return (t + 3) % 8; });
+  for (unsigned t = 0; t < 8; ++t) {
+    EXPECT_EQ(w.reg(0, t), static_cast<int>((t + 3) % 8));
+  }
+  EXPECT_EQ(w.counters().shuffles, 1u);
+}
+
+TEST(Warp, DynamicRotationMatchesGatherDefinition) {
+  // Each lane rotates by its own amount: reg'[r] = reg[(r + amt) mod m].
+  constexpr unsigned kRegs = 8;
+  warp<int> w(4, kRegs);
+  for (unsigned r = 0; r < kRegs; ++r) {
+    for (unsigned t = 0; t < 4; ++t) {
+      w.reg(r, t) = static_cast<int>(r * 10 + t);
+    }
+  }
+  const unsigned amounts[4] = {0, 1, 5, 7};
+  w.rotate_registers_dynamic([&](unsigned t) { return amounts[t]; });
+  for (unsigned r = 0; r < kRegs; ++r) {
+    for (unsigned t = 0; t < 4; ++t) {
+      EXPECT_EQ(w.reg(r, t),
+                static_cast<int>(((r + amounts[t]) % kRegs) * 10 + t));
+    }
+  }
+}
+
+TEST(Warp, BarrelRotatorCostIsCeilLog2PerElement) {
+  // Section 6.2.2: ⌈log2 m⌉ selects per element, i.e. m·⌈log2 m⌉ per lane
+  // vector, counted as warp instructions.
+  for (unsigned m : {2u, 3u, 4u, 7u, 8u, 16u, 31u, 32u}) {
+    warp<int> w(4, m);
+    w.rotate_registers_dynamic([](unsigned) { return 1u; });
+    unsigned ceil_log2 = 0;
+    while ((1u << ceil_log2) < m) {
+      ++ceil_log2;
+    }
+    EXPECT_EQ(w.counters().selects, static_cast<std::uint64_t>(m) * ceil_log2)
+        << "m=" << m;
+  }
+}
+
+TEST(Warp, StaticPermutationIsFree) {
+  warp<int> w(2, 4);
+  for (unsigned r = 0; r < 4; ++r) {
+    w.reg(r, 0) = static_cast<int>(r);
+    w.reg(r, 1) = static_cast<int>(10 + r);
+  }
+  w.permute_registers_static([](unsigned r) { return (r + 1) % 4; });
+  EXPECT_EQ(w.reg(0, 0), 1);
+  EXPECT_EQ(w.reg(3, 1), 10);
+  EXPECT_EQ(w.counters().selects, 0u);
+  EXPECT_EQ(w.counters().shuffles, 0u);
+  EXPECT_EQ(w.counters().renames, 1u);
+}
+
+struct tile_case {
+  unsigned regs;   // m — structure size in words
+  unsigned width;  // n — warp width
+};
+
+std::ostream& operator<<(std::ostream& os, const tile_case& c) {
+  return os << c.regs << "regs x " << c.width << "lanes";
+}
+
+class RegisterTranspose : public ::testing::TestWithParam<tile_case> {};
+
+std::vector<tile_case> all_tile_cases() {
+  std::vector<tile_case> cases;
+  // The paper's AoS regime: structure sizes 2..32 words, warp width 32,
+  // plus narrower widths to exercise gcd variety.
+  for (unsigned m = 2; m <= 32; ++m) {
+    cases.push_back({m, 32});
+  }
+  for (unsigned width : {4u, 8u, 16u}) {
+    for (unsigned m : {2u, 3u, 5u, 8u, 12u, 16u, 27u}) {
+      cases.push_back({m, width});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiles, RegisterTranspose,
+                         ::testing::ValuesIn(all_tile_cases()));
+
+TEST_P(RegisterTranspose, C2REqualsReferenceTranspose) {
+  const auto [m, width] = GetParam();
+  warp<std::uint32_t> w(width, m);
+  const auto tile = util::iota_matrix<std::uint32_t>(m, width);
+  w.load_coalesced(tile.data());
+  const auto mm = simd::warp_tile_math(m, width);
+  simd::c2r_registers(w, mm);
+  std::vector<std::uint32_t> out(tile.size());
+  w.store_coalesced(out.data());
+  const auto want = util::reference_transpose(
+      std::span<const std::uint32_t>(tile), m, width);
+  EXPECT_EQ(out, want);
+}
+
+TEST_P(RegisterTranspose, R2CInvertsC2R) {
+  const auto [m, width] = GetParam();
+  warp<std::uint32_t> w(width, m);
+  const auto tile = util::iota_matrix<std::uint32_t>(m, width);
+  w.load_coalesced(tile.data());
+  const auto mm = simd::warp_tile_math(m, width);
+  simd::c2r_registers(w, mm);
+  simd::r2c_registers(w, mm);
+  std::vector<std::uint32_t> out(tile.size());
+  w.store_coalesced(out.data());
+  EXPECT_EQ(out, tile);
+}
+
+TEST_P(RegisterTranspose, CoalescedLoadDeliversStructsToLanes) {
+  // Figure 10 load path: after load_coalesced + R2C, lane t's registers
+  // hold structure t, exactly as a direct (strided) load would deliver.
+  const auto [m, width] = GetParam();
+  const auto aos = util::iota_matrix<std::uint32_t>(width, m);  // width structs
+  const auto mm = simd::warp_tile_math(m, width);
+
+  warp<std::uint32_t> via_transpose(width, m);
+  simd::warp_load_structs(via_transpose, mm, aos.data());
+
+  warp<std::uint32_t> direct(width, m);
+  direct.load_direct(aos.data());
+
+  for (unsigned r = 0; r < m; ++r) {
+    for (unsigned t = 0; t < width; ++t) {
+      ASSERT_EQ(via_transpose.reg(r, t), direct.reg(r, t))
+          << "reg " << r << " lane " << t;
+    }
+  }
+}
+
+TEST_P(RegisterTranspose, StoreInvertsLoad) {
+  const auto [m, width] = GetParam();
+  const auto aos = util::iota_matrix<std::uint32_t>(width, m);
+  const auto mm = simd::warp_tile_math(m, width);
+  warp<std::uint32_t> w(width, m);
+  simd::warp_load_structs(w, mm, aos.data());
+  std::vector<std::uint32_t> out(aos.size());
+  simd::warp_store_structs(w, mm, out.data());
+  EXPECT_EQ(out, aos);
+}
+
+TEST(CoalescedPtr, BatchRoundTripPreservesStructures) {
+  struct particle {
+    float x, y, z, mass;
+  };
+  constexpr unsigned kWidth = 32;
+  std::vector<particle> storage(kWidth * 4);
+  for (std::size_t k = 0; k < storage.size(); ++k) {
+    storage[k] = {float(k), float(k) + 0.5f, float(k) + 0.25f, 1.0f};
+  }
+  simd::coalesced_ptr<particle> cp(storage.data(), kWidth);
+
+  std::vector<particle> batch(kWidth);
+  cp.load_batch(kWidth, batch);
+  for (unsigned t = 0; t < kWidth; ++t) {
+    EXPECT_EQ(batch[t].x, float(kWidth + t));
+  }
+  for (auto& p : batch) {
+    p.mass = 2.0f;
+  }
+  cp.store_batch(kWidth, batch);
+  for (unsigned t = 0; t < kWidth; ++t) {
+    EXPECT_EQ(storage[kWidth + t].mass, 2.0f);
+    EXPECT_EQ(storage[kWidth + t].x, float(kWidth + t));
+  }
+  EXPECT_GT(cp.counters().shuffles, 0u);
+  EXPECT_GT(cp.counters().memory_ops, 0u);
+}
+
+TEST(CoalescedPtr, ForEachHandlesRaggedTails) {
+  struct cell {
+    std::uint32_t v, w;
+  };
+  for (const std::size_t count : {1u, 31u, 32u, 33u, 100u, 128u}) {
+    std::vector<cell> storage(count + 8);  // slack past the range
+    for (std::size_t k = 0; k < storage.size(); ++k) {
+      storage[k] = {static_cast<std::uint32_t>(k), 0};
+    }
+    simd::coalesced_ptr<cell> cp(storage.data(), 32);
+    cp.for_each(0, count, [](cell& c) { c.w = c.v * 3 + 1; });
+    for (std::size_t k = 0; k < storage.size(); ++k) {
+      if (k < count) {
+        ASSERT_EQ(storage[k].w, k * 3 + 1) << "count=" << count << " k=" << k;
+      } else {
+        ASSERT_EQ(storage[k].w, 0u) << "touched past range, count=" << count;
+      }
+      ASSERT_EQ(storage[k].v, k);
+    }
+  }
+}
+
+TEST(CoalescedPtr, GatherScatterByIndex) {
+  struct pair64 {
+    std::uint32_t a, b;
+  };
+  std::vector<pair64> storage(500);
+  for (std::size_t k = 0; k < storage.size(); ++k) {
+    storage[k] = {static_cast<std::uint32_t>(k),
+                  static_cast<std::uint32_t>(2 * k)};
+  }
+  simd::coalesced_ptr<pair64> cp(storage.data());
+  util::xoshiro256 rng(11);
+  std::vector<std::size_t> idx(64);
+  for (auto& i : idx) {
+    i = rng.uniform(0, storage.size());
+  }
+  std::vector<pair64> gathered(idx.size());
+  cp.gather(idx, gathered);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(gathered[k].a, idx[k]);
+  }
+  for (auto& g : gathered) {
+    g.b += 1;
+  }
+  cp.scatter(idx, gathered);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(storage[idx[k]].b, 2 * idx[k] + 1);
+  }
+}
+
+TEST(CpuKernels, AllVariantsAgree) {
+  // The staged and direct kernels must be bit-identical in effect; only
+  // their memory traffic differs.
+  util::xoshiro256 rng(13);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t fields = rng.uniform(2, 32);
+    const std::size_t count = rng.uniform(10, 3000);
+    std::vector<float> soa(count * fields);
+    for (std::size_t l = 0; l < soa.size(); ++l) {
+      soa[l] = static_cast<float>(l);
+    }
+    std::vector<float> aos_a(soa.size());
+    std::vector<float> aos_b(soa.size());
+    simd::soa_to_aos_direct(aos_a.data(), soa.data(), count, fields);
+    simd::soa_to_aos_staged(aos_b.data(), soa.data(), count, fields);
+    ASSERT_EQ(aos_a, aos_b);
+
+    std::vector<float> back_a(soa.size());
+    std::vector<float> back_b(soa.size());
+    simd::aos_to_soa_direct(back_a.data(), aos_a.data(), count, fields);
+    simd::aos_to_soa_staged(back_b.data(), aos_a.data(), count, fields);
+    ASSERT_EQ(back_a, soa);
+    ASSERT_EQ(back_b, soa);
+
+    std::vector<std::uint64_t> idx(200);
+    for (auto& i : idx) {
+      i = rng.uniform(0, count);
+    }
+    std::vector<float> g1(idx.size() * fields);
+    std::vector<float> g2(idx.size() * fields);
+    simd::gather_structs_direct(g1.data(), aos_a.data(), idx.data(),
+                                idx.size(), fields);
+    simd::gather_structs_coalesced(g2.data(), aos_a.data(), idx.data(),
+                                   idx.size(), fields);
+    ASSERT_EQ(g1, g2);
+
+    std::vector<float> s1(aos_a);
+    std::vector<float> s2(aos_a);
+    simd::scatter_structs_direct(s1.data(), g1.data(), idx.data(),
+                                 idx.size(), fields);
+    simd::scatter_structs_coalesced(s2.data(), g1.data(), idx.data(),
+                                    idx.size(), fields);
+    ASSERT_EQ(s1, s2);
+  }
+}
+
+}  // namespace
