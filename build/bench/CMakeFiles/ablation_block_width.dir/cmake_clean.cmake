@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_width.dir/ablation_block_width.cpp.o"
+  "CMakeFiles/ablation_block_width.dir/ablation_block_width.cpp.o.d"
+  "ablation_block_width"
+  "ablation_block_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_aware.dir/ablation_cache_aware.cpp.o"
+  "CMakeFiles/ablation_cache_aware.dir/ablation_cache_aware.cpp.o.d"
+  "ablation_cache_aware"
+  "ablation_cache_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

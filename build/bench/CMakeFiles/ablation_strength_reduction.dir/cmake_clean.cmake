@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strength_reduction.dir/ablation_strength_reduction.cpp.o"
+  "CMakeFiles/ablation_strength_reduction.dir/ablation_strength_reduction.cpp.o.d"
+  "ablation_strength_reduction"
+  "ablation_strength_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strength_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

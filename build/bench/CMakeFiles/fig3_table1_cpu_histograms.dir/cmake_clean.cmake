@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_table1_cpu_histograms.dir/fig3_table1_cpu_histograms.cpp.o"
+  "CMakeFiles/fig3_table1_cpu_histograms.dir/fig3_table1_cpu_histograms.cpp.o.d"
+  "fig3_table1_cpu_histograms"
+  "fig3_table1_cpu_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_table1_cpu_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fig5_landscape.dir/fig4_fig5_landscape.cpp.o"
+  "CMakeFiles/fig4_fig5_landscape.dir/fig4_fig5_landscape.cpp.o.d"
+  "fig4_fig5_landscape"
+  "fig4_fig5_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fig5_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

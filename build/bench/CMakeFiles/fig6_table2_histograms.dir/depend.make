@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_table2_histograms.
+# This may be replaced when dependencies are built.

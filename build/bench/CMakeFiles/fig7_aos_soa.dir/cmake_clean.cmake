@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_aos_soa.dir/fig7_aos_soa.cpp.o"
+  "CMakeFiles/fig7_aos_soa.dir/fig7_aos_soa.cpp.o.d"
+  "fig7_aos_soa"
+  "fig7_aos_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_aos_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unit_stride_aos.dir/fig8_unit_stride_aos.cpp.o"
+  "CMakeFiles/fig8_unit_stride_aos.dir/fig8_unit_stride_aos.cpp.o.d"
+  "fig8_unit_stride_aos"
+  "fig8_unit_stride_aos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unit_stride_aos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

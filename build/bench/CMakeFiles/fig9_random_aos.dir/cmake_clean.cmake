@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_random_aos.dir/fig9_random_aos.cpp.o"
+  "CMakeFiles/fig9_random_aos.dir/fig9_random_aos.cpp.o.d"
+  "fig9_random_aos"
+  "fig9_random_aos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_random_aos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_model_predictions.dir/gpu_model_predictions.cpp.o"
+  "CMakeFiles/gpu_model_predictions.dir/gpu_model_predictions.cpp.o.d"
+  "gpu_model_predictions"
+  "gpu_model_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_model_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

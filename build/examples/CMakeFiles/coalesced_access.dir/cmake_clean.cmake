@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesced_access.dir/coalesced_access.cpp.o"
+  "CMakeFiles/coalesced_access.dir/coalesced_access.cpp.o.d"
+  "coalesced_access"
+  "coalesced_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesced_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coalesced_access.
+# This may be replaced when dependencies are built.

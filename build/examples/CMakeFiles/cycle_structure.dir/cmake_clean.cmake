@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_structure.dir/cycle_structure.cpp.o"
+  "CMakeFiles/cycle_structure.dir/cycle_structure.cpp.o.d"
+  "cycle_structure"
+  "cycle_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

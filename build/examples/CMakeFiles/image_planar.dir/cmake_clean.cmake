@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_planar.dir/image_planar.cpp.o"
+  "CMakeFiles/image_planar.dir/image_planar.cpp.o.d"
+  "image_planar"
+  "image_planar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_planar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

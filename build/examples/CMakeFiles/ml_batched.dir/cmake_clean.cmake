@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_batched.dir/ml_batched.cpp.o"
+  "CMakeFiles/ml_batched.dir/ml_batched.cpp.o.d"
+  "ml_batched"
+  "ml_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

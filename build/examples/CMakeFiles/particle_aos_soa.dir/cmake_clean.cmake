@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_aos_soa.dir/particle_aos_soa.cpp.o"
+  "CMakeFiles/particle_aos_soa.dir/particle_aos_soa.cpp.o.d"
+  "particle_aos_soa"
+  "particle_aos_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_aos_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

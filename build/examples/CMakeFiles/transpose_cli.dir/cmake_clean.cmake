@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_cli.dir/transpose_cli.cpp.o"
+  "CMakeFiles/transpose_cli.dir/transpose_cli.cpp.o.d"
+  "transpose_cli"
+  "transpose_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cycle_follow.cpp" "src/CMakeFiles/inplace.dir/baselines/cycle_follow.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/baselines/cycle_follow.cpp.o.d"
+  "/root/repo/src/baselines/gustavson_like.cpp" "src/CMakeFiles/inplace.dir/baselines/gustavson_like.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/baselines/gustavson_like.cpp.o.d"
+  "/root/repo/src/baselines/sung_tiled.cpp" "src/CMakeFiles/inplace.dir/baselines/sung_tiled.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/baselines/sung_tiled.cpp.o.d"
+  "/root/repo/src/core/errors.cpp" "src/CMakeFiles/inplace.dir/core/errors.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/core/errors.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/inplace.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/core/plan.cpp.o.d"
+  "/root/repo/src/memsim/bandwidth_model.cpp" "src/CMakeFiles/inplace.dir/memsim/bandwidth_model.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/memsim/bandwidth_model.cpp.o.d"
+  "/root/repo/src/memsim/coalescer.cpp" "src/CMakeFiles/inplace.dir/memsim/coalescer.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/memsim/coalescer.cpp.o.d"
+  "/root/repo/src/memsim/device_model.cpp" "src/CMakeFiles/inplace.dir/memsim/device_model.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/memsim/device_model.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/inplace.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/bench_harness.cpp" "src/CMakeFiles/inplace.dir/util/bench_harness.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/util/bench_harness.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/inplace.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/inplace.dir/util/histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

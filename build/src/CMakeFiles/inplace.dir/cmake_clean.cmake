@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inplace.dir/baselines/cycle_follow.cpp.o"
+  "CMakeFiles/inplace.dir/baselines/cycle_follow.cpp.o.d"
+  "CMakeFiles/inplace.dir/baselines/gustavson_like.cpp.o"
+  "CMakeFiles/inplace.dir/baselines/gustavson_like.cpp.o.d"
+  "CMakeFiles/inplace.dir/baselines/sung_tiled.cpp.o"
+  "CMakeFiles/inplace.dir/baselines/sung_tiled.cpp.o.d"
+  "CMakeFiles/inplace.dir/core/errors.cpp.o"
+  "CMakeFiles/inplace.dir/core/errors.cpp.o.d"
+  "CMakeFiles/inplace.dir/core/plan.cpp.o"
+  "CMakeFiles/inplace.dir/core/plan.cpp.o.d"
+  "CMakeFiles/inplace.dir/memsim/bandwidth_model.cpp.o"
+  "CMakeFiles/inplace.dir/memsim/bandwidth_model.cpp.o.d"
+  "CMakeFiles/inplace.dir/memsim/coalescer.cpp.o"
+  "CMakeFiles/inplace.dir/memsim/coalescer.cpp.o.d"
+  "CMakeFiles/inplace.dir/memsim/device_model.cpp.o"
+  "CMakeFiles/inplace.dir/memsim/device_model.cpp.o.d"
+  "CMakeFiles/inplace.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/inplace.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/inplace.dir/util/bench_harness.cpp.o"
+  "CMakeFiles/inplace.dir/util/bench_harness.cpp.o.d"
+  "CMakeFiles/inplace.dir/util/histogram.cpp.o"
+  "CMakeFiles/inplace.dir/util/histogram.cpp.o.d"
+  "libinplace.a"
+  "libinplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

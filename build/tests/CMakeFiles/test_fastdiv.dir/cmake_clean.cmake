@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastdiv.dir/test_fastdiv.cpp.o"
+  "CMakeFiles/test_fastdiv.dir/test_fastdiv.cpp.o.d"
+  "test_fastdiv"
+  "test_fastdiv.pdb"
+  "test_fastdiv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastdiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

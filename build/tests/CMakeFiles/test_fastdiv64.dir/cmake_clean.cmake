@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastdiv64.dir/test_fastdiv64.cpp.o"
+  "CMakeFiles/test_fastdiv64.dir/test_fastdiv64.cpp.o.d"
+  "test_fastdiv64"
+  "test_fastdiv64.pdb"
+  "test_fastdiv64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastdiv64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcdmath.dir/test_gcdmath.cpp.o"
+  "CMakeFiles/test_gcdmath.dir/test_gcdmath.cpp.o.d"
+  "test_gcdmath"
+  "test_gcdmath.pdb"
+  "test_gcdmath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcdmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

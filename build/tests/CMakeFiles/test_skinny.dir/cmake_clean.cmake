@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skinny.dir/test_skinny.cpp.o"
+  "CMakeFiles/test_skinny.dir/test_skinny.cpp.o.d"
+  "test_skinny"
+  "test_skinny.pdb"
+  "test_skinny[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skinny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_transpose.dir/test_static_transpose.cpp.o"
+  "CMakeFiles/test_static_transpose.dir/test_static_transpose.cpp.o.d"
+  "test_static_transpose"
+  "test_static_transpose.pdb"
+  "test_static_transpose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vectorized.dir/test_vectorized.cpp.o"
+  "CMakeFiles/test_vectorized.dir/test_vectorized.cpp.o.d"
+  "test_vectorized"
+  "test_vectorized.pdb"
+  "test_vectorized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vectorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
