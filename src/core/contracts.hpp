@@ -1,0 +1,61 @@
+#pragma once
+// Contract/checked mode.  The library's correctness rests on the modular
+// index algebra of Eqs. 23-26/31-36 being implemented without off-by-one
+// or overflow errors; this header provides the machine-checked guardrails
+// that the engines and planner are annotated with:
+//
+//   INPLACE_REQUIRE(cond, msg)  — precondition at an API boundary
+//   INPLACE_CHECK(cond, msg)    — internal invariant inside an engine
+//   INPLACE_ENSURE(cond, msg)   — postcondition after a pass completes
+//
+// All three compile to nothing unless INPLACE_ENABLE_CHECKS is defined
+// (the `Checked` CMake configuration, or -DINPLACE_CHECKED=ON), so Release
+// performance is untouched.  When enabled, a failed contract calls
+// detail::contract_fail, which throws inplace::contract_violation with the
+// expression, source location and message — or aborts with the same
+// diagnostic when the INPLACE_CONTRACT_ABORT environment variable is set
+// (useful under sanitizers, where an abort keeps the stack trace).
+//
+// The INPLACE_CHECKS_ENABLED macro (always defined, 0 or 1) lets code gate
+// checked-mode-only bookkeeping, e.g. the slot-coverage stamps that prove
+// each row/column shuffle visited every slot exactly once (permute.hpp).
+
+#include <stdexcept>
+
+namespace inplace {
+
+/// Thrown when a contract annotated with INPLACE_REQUIRE / INPLACE_CHECK /
+/// INPLACE_ENSURE fails in a Checked build.  Inherits logic_error rather
+/// than inplace::error: a contract violation is a bug in the library or in
+/// the caller's use of it, not a recoverable bad-argument condition.
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+/// Reports a failed contract: throws contract_violation, or aborts after
+/// printing the diagnostic when $INPLACE_CONTRACT_ABORT is set.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line, const char* msg);
+
+}  // namespace detail
+}  // namespace inplace
+
+#if defined(INPLACE_ENABLE_CHECKS)
+#define INPLACE_CHECKS_ENABLED 1
+#define INPLACE_CONTRACT_IMPL(kind, cond, msg)                         \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::inplace::detail::contract_fail(kind, #cond, __FILE__,    \
+                                             __LINE__, msg))
+#else
+#define INPLACE_CHECKS_ENABLED 0
+#define INPLACE_CONTRACT_IMPL(kind, cond, msg) static_cast<void>(0)
+#endif
+
+#define INPLACE_REQUIRE(cond, msg) \
+  INPLACE_CONTRACT_IMPL("precondition", cond, msg)
+#define INPLACE_CHECK(cond, msg) INPLACE_CONTRACT_IMPL("invariant", cond, msg)
+#define INPLACE_ENSURE(cond, msg) \
+  INPLACE_CONTRACT_IMPL("postcondition", cond, msg)

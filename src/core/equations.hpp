@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/contracts.hpp"
 #include "core/fastdiv.hpp"
 #include "core/gcdmath.hpp"
 #include "core/layout.hpp"
@@ -142,7 +143,10 @@ class d_prime_stepper {
         m_mod_n_(mm.m % mm.n),
         wrap_fix_((mm.n + 1 - mm.m % mm.n) % mm.n),
         u_(i),
-        val_(i % mm.n) {}
+        val_(i % mm.n) {
+    INPLACE_REQUIRE(i < mm.m, "d_prime_stepper row index out of range");
+    INPLACE_REQUIRE(mm.n >= 1, "d_prime_stepper requires n >= 1");
+  }
 
   /// d'_i(j) for the current j.
   [[nodiscard]] std::uint64_t value() const { return val_; }

@@ -1,8 +1,34 @@
 #include "core/errors.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <string>
+
+#include "core/contracts.hpp"
 
 namespace inplace::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const char* msg) {
+  std::string what("inplace contract violation [");
+  what += kind;
+  what += "] at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ": (";
+  what += expr;
+  what += ") — ";
+  what += msg;
+  // Aborting preserves the stack for debuggers and sanitizers; throwing
+  // lets tests observe the violation.  The environment picks.
+  if (std::getenv("INPLACE_CONTRACT_ABORT") != nullptr) {
+    std::fprintf(stderr, "%s\n", what.c_str());
+    std::abort();
+  }
+  throw contract_violation(what);
+}
 
 std::size_t checked_extent(const void* data, std::size_t rows,
                            std::size_t cols) {

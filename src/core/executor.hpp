@@ -6,9 +6,11 @@
 // per-call setup.  `transpose_batched` applies it across a contiguous
 // batch of equally shaped matrices.
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 
+#include "core/contracts.hpp"
 #include "core/transpose.hpp"
 
 namespace inplace {
@@ -58,6 +60,15 @@ class transposer {
  private:
   template <typename Math>
   void run(T* data, const Math& mm) {
+    INPLACE_REQUIRE(data != nullptr, "transposer invoked with null data");
+    // The precomputed index math and scratch must match the plan they were
+    // sized for; a mismatch here means the executor state was corrupted.
+    INPLACE_CHECK(mm.m == plan_.m && mm.n == plan_.n,
+                  "index math shape does not match the plan");
+    INPLACE_CHECK(!ws_.has_value() ||
+                      ws_->line.size() >= std::max(plan_.m, plan_.n),
+                  "workspace line smaller than max(m, n) — Theorem 6's "
+                  "scratch bound");
     switch (plan_.engine) {
       case engine_kind::reference:
         if (plan_.dir == direction::c2r) {

@@ -9,7 +9,47 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace inplace::detail {
+
+#if INPLACE_CHECKS_ENABLED
+/// Checked-mode slot-coverage tracker: proves that a shuffle of `size`
+/// slots touches every slot exactly once (i.e. its index map is a
+/// bijection).  Marking all `size` slots without a duplicate is exactly
+/// that proof, since the indices are range-checked first.  A thread-local
+/// generation-stamped array makes each tracker O(size) without clearing,
+/// and keeps the concurrent engines' checks race-free.
+class shuffle_coverage {
+ public:
+  explicit shuffle_coverage(std::uint64_t size) : size_(size) {
+    if (stamps_.size() < size) {
+      stamps_.resize(static_cast<std::size_t>(size), 0);
+    }
+    gen_ = ++generation_;
+  }
+
+  /// Marks `slot` visited; fails the contract on a duplicate visit.
+  void mark(std::uint64_t slot, const char* what) {
+    if (stamps_[static_cast<std::size_t>(slot)] == gen_) {
+      contract_fail("postcondition", "slot visited once", __FILE__, __LINE__,
+                    what);
+    }
+    stamps_[static_cast<std::size_t>(slot)] = gen_;
+    ++marked_;
+  }
+
+  /// True when every slot in [0, size) was marked exactly once.
+  [[nodiscard]] bool complete() const { return marked_ == size_; }
+
+ private:
+  inline static thread_local std::vector<std::uint64_t> stamps_;
+  inline static thread_local std::uint64_t generation_ = 0;
+  std::uint64_t size_;
+  std::uint64_t gen_ = 0;
+  std::uint64_t marked_ = 0;
+};
+#endif
 
 /// Scratch storage for one in-place transposition.  Holds the paper's
 /// max(m, n)-element temporary vector plus the small fixed-size buffers
@@ -32,36 +72,86 @@ struct workspace {
     visited.assign(static_cast<std::size_t>(m), 0);
     offsets.resize(static_cast<std::size_t>(width));
     cycle_starts.clear();
+    INPLACE_ENSURE(line.size() >= std::max(m, n),
+                   "workspace line smaller than max(m, n) — Theorem 6's "
+                   "scratch bound");
+  }
+
+  /// True when this workspace can serve an m x n problem with `width`-wide
+  /// column groups (checked-mode capacity precondition for the engines).
+  [[nodiscard]] bool fits(std::uint64_t m, std::uint64_t n,
+                          std::uint64_t width) const {
+    return line.size() >= std::max(m, n) && head.size() >= width * width &&
+           subrow.size() >= width && visited.size() >= m &&
+           offsets.size() >= width;
   }
 };
 
 /// tmp[j] = row[idx(j)] for j in [0, n), then copy tmp back over the row.
+/// Checked mode proves idx is a bijection on [0, n): n in-range gathers
+/// without a duplicate source read every slot exactly once.
 template <typename T, typename IndexFn>
 void row_gather_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+#if INPLACE_CHECKS_ENABLED
+  shuffle_coverage cover(n);
+#endif
   for (std::uint64_t j = 0; j < n; ++j) {
-    tmp[j] = row[idx(j)];
+    const std::uint64_t s = idx(j);
+    INPLACE_CHECK(s < n, "row shuffle gather index out of range (Eq. 31)");
+#if INPLACE_CHECKS_ENABLED
+    cover.mark(s, "row shuffle gather read a slot twice (Eq. 31 is not a "
+                  "bijection)");
+#endif
+    tmp[j] = row[s];
   }
+  INPLACE_ENSURE(cover.complete(),
+                 "row shuffle gather skipped a slot (Eq. 31)");
   std::copy(tmp, tmp + n, row);
 }
 
 /// tmp[idx(j)] = row[j] for j in [0, n), then copy tmp back over the row.
+/// Checked mode proves idx is a bijection on [0, n): n in-range scatters
+/// without a collision fill every slot exactly once.
 template <typename T, typename IndexFn>
 void row_scatter_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+#if INPLACE_CHECKS_ENABLED
+  shuffle_coverage cover(n);
+#endif
   for (std::uint64_t j = 0; j < n; ++j) {
-    tmp[idx(j)] = row[j];
+    const std::uint64_t d = idx(j);
+    INPLACE_CHECK(d < n, "row shuffle scatter index out of range (Eq. 24)");
+#if INPLACE_CHECKS_ENABLED
+    cover.mark(d, "row shuffle scatter wrote a slot twice (Eq. 24 is not a "
+                  "bijection)");
+#endif
+    tmp[d] = row[j];
   }
+  INPLACE_ENSURE(cover.complete(),
+                 "row shuffle scatter left a slot unwritten (Eq. 24)");
   std::copy(tmp, tmp + n, row);
 }
 
 /// tmp[i] = A[idx(i)][j] for i in [0, m), then copy tmp back down column j.
 /// A is row-major m x n.  (Reference path; the cache-aware engines use the
-/// blocked primitives in rotate.hpp instead.)
+/// blocked primitives in rotate.hpp instead.)  Checked mode proves idx is
+/// a bijection on [0, m) — the column shuffle visits every row once.
 template <typename T, typename IndexFn>
 void column_gather_inplace(T* a, std::uint64_t m, std::uint64_t n,
                            std::uint64_t j, T* tmp, IndexFn idx) {
+#if INPLACE_CHECKS_ENABLED
+  shuffle_coverage cover(m);
+#endif
   for (std::uint64_t i = 0; i < m; ++i) {
-    tmp[i] = a[idx(i) * n + j];
+    const std::uint64_t s = idx(i);
+    INPLACE_CHECK(s < m, "column shuffle index out of range (Eq. 26)");
+#if INPLACE_CHECKS_ENABLED
+    cover.mark(s, "column shuffle read a row twice (Eq. 26 is not a "
+                  "bijection)");
+#endif
+    tmp[i] = a[s * n + j];
   }
+  INPLACE_ENSURE(cover.complete(),
+                 "column shuffle skipped a row (Eq. 26)");
   for (std::uint64_t i = 0; i < m; ++i) {
     a[i * n + j] = tmp[i];
   }
@@ -78,17 +168,31 @@ void find_cycles(std::uint64_t m, PermFn perm,
                  std::vector<std::uint64_t>& cycle_starts) {
   std::fill(visited.begin(), visited.end(), std::uint8_t{0});
   cycle_starts.clear();
+#if INPLACE_CHECKS_ENABLED
+  // A bijection on [0, m) decomposes into disjoint cycles whose lengths
+  // sum to m; walking more than m steps in total means perm merged two
+  // cycles (not injective) and the walk would never terminate.
+  std::uint64_t steps = 0;
+#endif
   for (std::uint64_t y = 0; y < m; ++y) {
     if (visited[y]) {
       continue;
     }
     visited[y] = 1;
     const std::uint64_t first = perm(y);
+    INPLACE_CHECK(first < m, "row permutation index out of range");
     if (first == y) {
       continue;  // fixed point
     }
     cycle_starts.push_back(y);
     for (std::uint64_t i = first; i != y; i = perm(i)) {
+      INPLACE_CHECK(i < m, "row permutation index out of range");
+      INPLACE_CHECK(++steps <= m,
+                    "row permutation cycle walk exceeded m steps (the map "
+                    "is not a bijection)");
+      INPLACE_CHECK(!visited[i],
+                    "row permutation revisited a row (the map is not a "
+                    "bijection)");
       visited[i] = 1;
     }
   }
@@ -102,6 +206,8 @@ void permute_rows_in_group(T* a, std::uint64_t n, std::uint64_t j0,
                            std::uint64_t width, PermFn perm,
                            const std::vector<std::uint64_t>& cycle_starts,
                            T* tmp) {
+  INPLACE_REQUIRE(j0 + width <= n,
+                  "row permutation column group exceeds the row width");
   for (const std::uint64_t y : cycle_starts) {
     T* base = a + j0;
     std::copy(base + y * n, base + y * n + width, tmp);

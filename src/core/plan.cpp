@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
 #include "core/errors.hpp"
 
 namespace inplace {
@@ -45,6 +46,16 @@ transpose_plan make_directed_plan(const void* data, std::size_t m,
     // the blocked engine when forced onto an unsuitable shape.
     plan.engine = engine_kind::blocked;
   }
+
+  // Plan postconditions: the planner must never hand an engine a shape it
+  // cannot run, and the scratch sizing must honor Theorem 6's bound.
+  INPLACE_ENSURE(plan.engine != engine_kind::skinny ||
+                     (plan.n <= skinny_col_limit && plan.m > plan.n),
+                 "skinny engine selected for a non-skinny shape");
+  INPLACE_ENSURE(plan.block_width >= 4,
+                 "sub-row width below the cache-aware minimum");
+  INPLACE_ENSURE(plan.scratch_elements() >= std::max(plan.m, plan.n),
+                 "scratch sizing violates Theorem 6's max(m, n) bound");
   return plan;
 }
 

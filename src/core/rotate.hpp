@@ -85,6 +85,12 @@ void fine_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
   if (max_res == 0) {
     return;  // Section 4.6: the fine pass is often skippable
   }
+  // The head buffer holds width*width elements, one width-wide sub-row per
+  // saved row; residuals >= min(width, m) would read past it (or past the
+  // matrix) once the sweep wraps.
+  INPLACE_REQUIRE(max_res < std::min(width, m) || m <= 1,
+                  "fine rotation residual outside the cache-aware window "
+                  "(Section 4.6)");
   T* base = a + j0;
   for (std::uint64_t r = 0; r < max_res; ++r) {
     std::copy(base + r * n, base + r * n + width, head + r * width);

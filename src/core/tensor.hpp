@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/tiled_core.hpp"
+#include "core/contracts.hpp"
 #include "core/executor.hpp"
 #include "core/transpose.hpp"
 
@@ -59,6 +60,46 @@ void transpose_chunk_matrix(T* data, std::size_t d0, std::size_t d1,
 }
 
 }  // namespace detail
+
+/// Non-owning view of a row-major [d0][d1][d2] tensor with contract-checked
+/// element access.  `at(i0, i1, i2)` verifies every index against its
+/// extent in Checked builds and compiles down to the plain linearized load
+/// in Release; `operator()` is the always-unchecked form for hot loops.
+template <typename T>
+class tensor_view {
+ public:
+  tensor_view(T* data, std::size_t d0, std::size_t d1, std::size_t d2)
+      : data_(data), d0_(d0), d1_(d1), d2_(d2) {
+    if (d0 != 0 && d1 != 0 && d2 != 0) {
+      detail::checked_extent(data, d0 * d1, d2);
+    }
+  }
+
+  [[nodiscard]] std::size_t extent(int axis) const {
+    INPLACE_REQUIRE(axis >= 0 && axis < 3, "tensor_view axis out of range");
+    return axis == 0 ? d0_ : axis == 1 ? d1_ : d2_;
+  }
+  [[nodiscard]] std::size_t size() const { return d0_ * d1_ * d2_; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  /// Bounds-checked element access (Checked builds; unchecked in Release).
+  [[nodiscard]] T& at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    INPLACE_CHECK(i0 < d0_, "tensor_view index 0 out of range");
+    INPLACE_CHECK(i1 < d1_, "tensor_view index 1 out of range");
+    INPLACE_CHECK(i2 < d2_, "tensor_view index 2 out of range");
+    return (*this)(i0, i1, i2);
+  }
+
+  /// Unchecked element access.
+  [[nodiscard]] T& operator()(std::size_t i0, std::size_t i1,
+                              std::size_t i2) const {
+    return data_[(i0 * d1_ + i1) * d2_ + i2];
+  }
+
+ private:
+  T* data_;
+  std::size_t d0_, d1_, d2_;
+};
 
 /// Permutes the axes of a row-major [d0][d1][d2] tensor in place.
 /// Afterwards the buffer is row-major with extents

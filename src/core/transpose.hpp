@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "core/contracts.hpp"
 #include "core/equations.hpp"
 #include "core/errors.hpp"
 #include "core/layout.hpp"
@@ -30,6 +31,8 @@ namespace detail {
 
 template <typename T, typename Math>
 void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
+  INPLACE_REQUIRE(mm.m == plan.m && mm.n == plan.n,
+                  "index math shape does not match the plan");
   switch (plan.engine) {
     case engine_kind::reference: {
       workspace<T> ws;

@@ -1,0 +1,451 @@
+#pragma once
+// Exhaustive algebraic verification of the decomposition (permcheck core).
+//
+// The engines are only correct if, for the given (m, n), the row shuffle
+// d'_i (Eq. 24) and its gather-form inverse d'^-1_i (Eq. 31) are mutually
+// inverse bijections of [0, n), the column shuffle s'_j (Eq. 26) factors
+// into the rotation p_j and static permutation q (Eqs. 32-33) with q^-1
+// (Eq. 34) inverting q, and the three stages compose to the true
+// transposition permutation l -> l*m mod (mn - 1).  This header proves all
+// of that *by enumeration*, per shape, exercising exactly the headers the
+// engines use (equations.hpp with its division policies, including the
+// incremental d_prime_stepper) — independent of any engine, so an index
+// bug cannot hide behind a compensating bug in engine code.
+//
+// Fault injection (`fault`) deliberately plants one of the bug classes the
+// verifier exists to catch (off-by-one wrap handling, a flipped inverse
+// branch, a drifted static permutation, a mis-rounded reciprocal).  The
+// permcheck tool's --seed-bug mode and the unit tests use it to prove the
+// harness fails loudly instead of vacuously passing.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/equations.hpp"
+#include "core/fastdiv.hpp"
+#include "core/fastdiv64.hpp"
+#include "core/gcdmath.hpp"
+
+namespace inplace::verify {
+
+/// Deliberately planted index bugs, one per bug class the verifier guards
+/// against.  `none` verifies the real library code.
+enum class fault : int {
+  none = 0,
+  row_shuffle_wrap,      ///< Eq. 24: wrap test uses > instead of >=
+  inverse_branch,        ///< Eq. 31: f-helper branch condition off by one
+  column_shuffle_drift,  ///< Eq. 33: q(i) drifted by +1
+  fastdiv_magic,         ///< reciprocal computed without the +1 rounding
+};
+
+/// Outcome of a verification sweep.
+struct report {
+  std::uint64_t shapes = 0;    ///< (m, n) pairs fully verified
+  std::uint64_t checks = 0;    ///< individual predicates evaluated
+  std::uint64_t failures = 0;  ///< predicates that did not hold
+  std::vector<std::string> messages;  ///< first few failure diagnostics
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+
+  void fail(std::string msg) {
+    ++failures;
+    if (messages.size() < 16) {
+      messages.push_back(std::move(msg));
+    }
+  }
+
+  void merge(const report& other) {
+    shapes += other.shapes;
+    checks += other.checks;
+    failures += other.failures;
+    for (const auto& msg : other.messages) {
+      if (messages.size() >= 16) {
+        break;
+      }
+      messages.push_back(msg);
+    }
+  }
+};
+
+/// transpose_math with one optional planted bug.  Derivation shadows the
+/// faulty members; everything else is the real library code, so a sweep
+/// with fault::none measures exactly what the engines compute.
+template <typename Divmod>
+struct faulty_math : transpose_math<Divmod> {
+  using base = transpose_math<Divmod>;
+  fault f;
+
+  faulty_math(std::uint64_t rows, std::uint64_t cols, fault f_)
+      : base(rows, cols), f(f_) {}
+
+  [[nodiscard]] std::uint64_t d_prime(std::uint64_t i,
+                                      std::uint64_t j) const {
+    if (f == fault::row_shuffle_wrap) {
+      std::uint64_t u = i + this->by_b.div(j);
+      if (u > this->m) {  // BUG: misses u == m, the exact-wrap case
+        u -= this->m;
+      }
+      return (u + j * this->m) % this->n;
+    }
+    return base::d_prime(i, j);
+  }
+
+  [[nodiscard]] std::uint64_t d_prime_inv(std::uint64_t i,
+                                          std::uint64_t j) const {
+    if (f == fault::inverse_branch) {
+      const std::uint64_t fb = j + i * (this->n - 1);
+      // BUG: strict < where Eq. 31's f-helper needs <=
+      const std::uint64_t fh =
+          (i + this->c < this->m + this->by_c.mod(j)) ? fb : fb + this->m;
+      const auto [fq, fr] = this->by_c.divmod(fh);
+      return this->by_b.mod(this->a_inv * this->by_b.mod(fq)) +
+             fr * this->b;
+    }
+    return base::d_prime_inv(i, j);
+  }
+
+  [[nodiscard]] std::uint64_t q(std::uint64_t i) const {
+    if (f == fault::column_shuffle_drift) {
+      // BUG: q drifted by one row; s' no longer factors as p then q
+      return this->by_m.mod(i * this->n - this->by_a.div(i) + 1);
+    }
+    return base::q(i);
+  }
+};
+
+namespace detail {
+
+[[nodiscard]] inline std::uint64_t mulhi64(std::uint64_t x, std::uint64_t y) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(x) * y) >> 64);
+}
+
+/// The fastdiv_magic fault: Lemire's reciprocal with the ceiling rounding
+/// dropped (M = floor(2^64/d) instead of ceil).  Exact for some operands,
+/// wrong for others — precisely the kind of bug an "agrees with / and %"
+/// sweep must catch.
+[[nodiscard]] inline std::uint64_t bad_magic_div(std::uint64_t d,
+                                                 std::uint64_t x) {
+  if (d == 1) {
+    return x;
+  }
+  return mulhi64(~std::uint64_t{0} / d, x);
+}
+
+/// Generation-stamped scratch for the bijectivity bitmaps; reused across
+/// shapes so the sweep never reallocates.
+struct sweep_scratch {
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t gen = 0;
+
+  /// Starts a fresh coverage pass over `size` slots.
+  std::uint64_t begin(std::uint64_t size) {
+    if (stamp.size() < size) {
+      stamp.resize(static_cast<std::size_t>(size), 0);
+    }
+    return ++gen;
+  }
+};
+
+inline std::string shape_tag(std::uint64_t m, std::uint64_t n) {
+  return "(m=" + std::to_string(m) + ", n=" + std::to_string(n) + ")";
+}
+
+}  // namespace detail
+
+/// Verifies that fast_divmod and barrett_divmod agree with hardware / and
+/// % for divisor d across a small exhaustive range plus the boundary
+/// dividends that stress the reciprocals (mn-1, the 32-bit edge, 2^64-1).
+inline void check_divmod_agreement(std::uint64_t d, std::uint64_t mn,
+                                   fault f, report& rep) {
+  const fast_divmod fd(d);
+  const barrett_divmod bd(d);
+  const std::uint64_t boundaries[] = {
+      mn > 0 ? mn - 1 : 0,
+      mn,
+      mn + 1,
+      d > 0 ? d - 1 : 0,
+      d,
+      d + 1,
+      (std::uint64_t{1} << 32) - 1,
+      std::uint64_t{1} << 32,
+      (std::uint64_t{1} << 32) + 1,
+      ~std::uint64_t{0} - 1,
+      ~std::uint64_t{0},
+  };
+  auto check_one = [&](std::uint64_t x) {
+    const std::uint64_t q = x / d;
+    const std::uint64_t r = x % d;
+    const std::uint64_t fq =
+        (f == fault::fastdiv_magic) ? detail::bad_magic_div(d, x)
+                                    : fd.div(x);
+    rep.checks += 6;
+    if (fq != q || fd.mod(x) != r) {
+      rep.fail("fastdiv: reciprocal for d=" + std::to_string(d) +
+               " disagrees with hardware division at x=" +
+               std::to_string(x));
+      return false;
+    }
+    const auto [dq, dr] = fd.divmod(x);
+    const auto [bq, br] = bd.divmod(x);
+    if (dq != q || dr != r || bq != q || br != r || bd.div(x) != q ||
+        bd.mod(x) != r) {
+      rep.fail("fastdiv64: Barrett reduction for d=" + std::to_string(d) +
+               " disagrees with hardware division at x=" +
+               std::to_string(x));
+      return false;
+    }
+    return true;
+  };
+  const std::uint64_t dense = std::min<std::uint64_t>(mn, 512);
+  for (std::uint64_t x = 0; x <= dense; ++x) {
+    if (!check_one(x)) {
+      return;
+    }
+  }
+  for (const std::uint64_t x : boundaries) {
+    if (!check_one(x)) {
+      return;
+    }
+  }
+}
+
+/// Exhaustively verifies the decomposition algebra for one (m, n):
+///   1. per row i, d'_i is a bijection of [0, n), the incremental
+///      d_prime_stepper reproduces it (and its fused ⌊j/b⌋ rotation term),
+///      and d'^-1_i inverts it (Eqs. 23, 24, 31);
+///   2. the column shuffle factors as s'_j(i) = (q(i) + p_j) mod m with q
+///      a bijection inverted by q^-1, and the rotation offsets cancel
+///      (Eqs. 26, 32-36);
+///   3. the three stages compose, in scatter form, to the transposition
+///      permutation l -> l*m mod (mn - 1) on the linearized array.
+/// Returns false (and records diagnostics) on the first violated
+/// predicate for this shape.
+template <typename Math>
+bool check_shape(const Math& mm, report& rep,
+                 detail::sweep_scratch& scratch) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  const std::string tag = detail::shape_tag(m, n);
+
+  // --- 1. Row shuffle: bijectivity, stepper agreement, mutual inverse.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t gen = scratch.begin(n);
+    d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      const std::uint64_t d = mm.d_prime(i, j);
+      rep.checks += 5;
+      if (d >= n) {
+        rep.fail(tag + ": Eq. 24 d'_" + std::to_string(i) + "(" +
+                 std::to_string(j) + ") = " + std::to_string(d) +
+                 " is out of range");
+        return false;
+      }
+      if (scratch.stamp[d] == gen) {
+        rep.fail(tag + ": Eq. 24 row shuffle d'_" + std::to_string(i) +
+                 " is not a bijection — slot " + std::to_string(d) +
+                 " hit twice (second time at j=" + std::to_string(j) + ")");
+        return false;
+      }
+      scratch.stamp[d] = gen;
+      if (step.value() != d || step.rotation() != mm.prerotate_offset(j)) {
+        rep.fail(tag + ": incremental d' evaluator disagrees with Eq. 24 "
+                       "at (i=" +
+                 std::to_string(i) + ", j=" + std::to_string(j) +
+                 "): stepper " + std::to_string(step.value()) +
+                 ", direct " + std::to_string(d));
+        return false;
+      }
+      if (mm.d_prime_inv(i, d) != j) {
+        rep.fail(tag + ": Eq. 31 does not invert Eq. 24 at (i=" +
+                 std::to_string(i) + ", j=" + std::to_string(j) +
+                 "): d'^-1(d'(j)) = " +
+                 std::to_string(mm.d_prime_inv(i, d)));
+        return false;
+      }
+    }
+  }
+
+  // --- 2. Column shuffle factoring and inverses.
+  {
+    const std::uint64_t gen = scratch.begin(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t qi = mm.q(i);
+      rep.checks += 3;
+      if (qi >= m) {
+        rep.fail(tag + ": Eq. 33 q(" + std::to_string(i) + ") = " +
+                 std::to_string(qi) + " is out of range");
+        return false;
+      }
+      if (scratch.stamp[qi] == gen) {
+        rep.fail(tag + ": Eq. 33 static permutation q is not a bijection "
+                       "— row " +
+                 std::to_string(qi) + " hit twice (second time at i=" +
+                 std::to_string(i) + ")");
+        return false;
+      }
+      scratch.stamp[qi] = gen;
+      if (mm.q_inv(qi) != i) {
+        rep.fail(tag + ": Eq. 34 does not invert Eq. 33 at i=" +
+                 std::to_string(i) + ": q^-1(q(i)) = " +
+                 std::to_string(mm.q_inv(qi)));
+        return false;
+      }
+    }
+  }
+  for (std::uint64_t j = 0; j < n; ++j) {
+    const std::uint64_t p = mm.p_offset(j);
+    const std::uint64_t pr = mm.prerotate_offset(j);
+    rep.checks += 3;
+    if ((p + mm.p_inv_offset(j)) % m != 0) {
+      rep.fail(tag + ": Eq. 35 rotation offsets do not cancel at j=" +
+               std::to_string(j));
+      return false;
+    }
+    if ((pr + mm.prerotate_inv_offset(j)) % m != 0) {
+      rep.fail(tag + ": Eq. 36 pre-rotation offsets do not cancel at j=" +
+               std::to_string(j));
+      return false;
+    }
+  }
+
+  // --- 3. Column-shuffle factoring (full coverage) and the composition
+  // to the transposition permutation, scatter form: element l = i*n + j
+  // passes through the pre-rotation scatter (i - ⌊j/b⌋ mod m), the
+  // row-shuffle scatter d' (Eq. 24) and the column-shuffle scatter
+  // q^-1((row - col) mod m) — landing at l*m mod (mn - 1), with the last
+  // element fixed.
+  const std::uint64_t mn = m * n;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t qi = mm.q(i);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      rep.checks += 1;
+      const std::uint64_t pj = mm.p_offset(j);
+      if (mm.s_prime(i, j) != (qi + pj >= m ? qi + pj - m : qi + pj)) {
+        rep.fail(tag + ": Eq. 26 does not factor as p then q (Eqs. 32-33) "
+                       "at (i=" +
+                 std::to_string(i) + ", j=" + std::to_string(j) + ")");
+        return false;
+      }
+      const std::uint64_t rot = mm.prerotate_offset(j);
+      const std::uint64_t i1 = i >= rot ? i - rot : i + m - rot;
+      const std::uint64_t j2 = mm.d_prime(i1, j);
+      const std::uint64_t diff = i1 >= j2 % m ? i1 - j2 % m
+                                              : i1 + m - j2 % m;
+      const std::uint64_t dst = mm.q_inv(diff) * n + j2;
+      const std::uint64_t l = i * n + j;
+      const std::uint64_t want =
+          (l == mn - 1) ? mn - 1
+                        : static_cast<std::uint64_t>(
+                              (static_cast<__uint128_t>(l) * m) % (mn - 1));
+      rep.checks += 1;
+      if (dst != want) {
+        rep.fail(tag + ": composed C2R scatter sends l=" +
+                 std::to_string(l) + " to " + std::to_string(dst) +
+                 ", but transposition (l*m mod mn-1) requires " +
+                 std::to_string(want));
+        return false;
+      }
+    }
+  }
+
+  // --- 4. The divisors the strength-reduced engines actually use.
+  std::uint64_t divisors[] = {m, n, mm.a, mm.b, mm.c};
+  std::sort(std::begin(divisors), std::end(divisors));
+  const auto* end = std::unique(std::begin(divisors), std::end(divisors));
+  for (const auto* d = std::begin(divisors); d != end; ++d) {
+    if (*d >= 1) {
+      const std::uint64_t before = rep.failures;
+      check_divmod_agreement(
+          *d, mn,
+          // Only verify_options threads the fault through; a Math that is
+          // faulty_math still runs the clean divmod sweep here.
+          fault::none, rep);
+      if (rep.failures != before) {
+        return false;
+      }
+    }
+  }
+
+  ++rep.shapes;
+  return true;
+}
+
+/// Sweep configuration for run_sweep / the permcheck tool.
+struct sweep_options {
+  std::uint64_t min_extent = 2;
+  std::uint64_t max_extent = 64;
+  fault inject = fault::none;
+  bool use_plain_divmod = false;  ///< verify the no-strength-reduction policy
+  /// Called (from one thread at a time) with shapes completed so far.
+  void (*progress)(std::uint64_t done, std::uint64_t total) = nullptr;
+};
+
+/// Verifies every (m, n) with min_extent <= m, n <= max_extent.
+/// Parallelized over shapes with OpenMP when available.
+inline report run_sweep(const sweep_options& opt) {
+  report total;
+  const std::uint64_t lo = std::max<std::uint64_t>(opt.min_extent, 2);
+  const std::uint64_t hi = std::max<std::uint64_t>(opt.max_extent, lo);
+  const std::uint64_t extents = hi - lo + 1;
+  const auto pairs = static_cast<std::int64_t>(extents * extents);
+  std::uint64_t done = 0;
+
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    report local;
+    detail::sweep_scratch scratch;
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (std::int64_t k = 0; k < pairs; ++k) {
+      const std::uint64_t m = lo + static_cast<std::uint64_t>(k) / extents;
+      const std::uint64_t n = lo + static_cast<std::uint64_t>(k) % extents;
+      if (opt.use_plain_divmod) {
+        const faulty_math<plain_divmod> mm(m, n, opt.inject);
+        check_shape(mm, local, scratch);
+      } else {
+        const faulty_math<fast_divmod> mm(m, n, opt.inject);
+        check_shape(mm, local, scratch);
+      }
+      if (opt.inject == fault::fastdiv_magic) {
+        check_divmod_agreement(n, m * n, opt.inject, local);
+      }
+      if (opt.progress != nullptr && (k & 1023) == 0) {
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp critical(inplace_verify_progress)
+#endif
+        {
+          done += 1024;
+          opt.progress(std::min<std::uint64_t>(
+                           done, static_cast<std::uint64_t>(pairs)),
+                       static_cast<std::uint64_t>(pairs));
+        }
+      }
+    }
+#if defined(INPLACE_HAVE_OPENMP)
+#pragma omp critical(inplace_verify_merge)
+#endif
+    total.merge(local);
+  }
+  return total;
+}
+
+/// Convenience single-shape entry point (used by the unit tests).
+inline report verify_shape(std::uint64_t m, std::uint64_t n,
+                           fault inject = fault::none) {
+  report rep;
+  detail::sweep_scratch scratch;
+  const faulty_math<fast_divmod> mm(m, n, inject);
+  check_shape(mm, rep, scratch);
+  if (inject == fault::fastdiv_magic) {
+    check_divmod_agreement(n, m * n, inject, rep);
+  }
+  return rep;
+}
+
+}  // namespace inplace::verify

@@ -67,13 +67,14 @@ transpose_prediction finish(std::vector<pass_model> passes,
 transpose_prediction predict_decomposition(std::uint64_t m, std::uint64_t n,
                                            std::uint64_t elem_size,
                                            const device_params& dev) {
-  const double bytes = static_cast<double>(m) * n * elem_size;
+  const double bytes = static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(elem_size);
   const std::uint64_t c = std::gcd(m, n);
   const std::uint64_t b = c ? n / c : 1;
   const std::uint64_t width =
       std::max<std::uint64_t>(1, dev.streaming_segment_bytes / elem_size);
-  const double scat_eff =
-      static_cast<double>(elem_size) / dev.scattered_segment_bytes;
+  const double scat_eff = static_cast<double>(elem_size) /
+                          static_cast<double>(dev.scattered_segment_bytes);
   const double subrow_eff = 0.9;  // aligned segment-wide sub-row moves
   std::vector<pass_model> passes;
 
@@ -94,7 +95,8 @@ transpose_prediction predict_decomposition(std::uint64_t m, std::uint64_t n,
   // scattered granularity (the paper's explanation for doubles beating
   // floats); and rows too long for the register file, which additionally
   // round-trip a global temporary.
-  const double row_bytes = static_cast<double>(n) * elem_size;
+  const double row_bytes =
+      static_cast<double>(n) * static_cast<double>(elem_size);
   if (row_bytes <= static_cast<double>(dev.smem_row_bytes)) {
     passes.push_back({"row-shuffle (on-chip)", bytes, bytes, 1.0, 1.0, 4.0,
                       0.0, true});
@@ -146,13 +148,17 @@ transpose_prediction predict_skinny(std::uint64_t count,
                                     std::uint64_t fields,
                                     std::uint64_t elem_size,
                                     const device_params& dev) {
-  const double bytes = static_cast<double>(count) * fields * elem_size;
-  const double row_bytes = static_cast<double>(fields) * elem_size;
+  const double bytes = static_cast<double>(count) *
+                       static_cast<double>(fields) *
+                       static_cast<double>(elem_size);
+  const double row_bytes =
+      static_cast<double>(fields) * static_cast<double>(elem_size);
   std::vector<pass_model> passes;
   passes.push_back({"fused rotate+shuffle", bytes, bytes, 1.0, 1.0, 3.0,
                     0.0, true});
   passes.push_back({"fine rotate", bytes, bytes, 1.0, 1.0, 1.0, 0.0, true});
-  const double eff = block_efficiency(row_bytes, dev.streaming_segment_bytes);
+  const double eff = block_efficiency(
+      row_bytes, static_cast<double>(dev.streaming_segment_bytes));
   passes.push_back({"row permute", bytes, bytes, eff, eff, 1.0, 0.0, true});
   return finish(std::move(passes), count, fields, elem_size, dev);
 }
@@ -161,21 +167,27 @@ transpose_prediction predict_tiled(std::uint64_t m, std::uint64_t n,
                                    std::uint64_t tr, std::uint64_t tc,
                                    std::uint64_t elem_size,
                                    const device_params& dev) {
-  const double bytes = static_cast<double>(m) * n * elem_size;
-  const double elements = bytes / elem_size;
-  const double scat_eff =
-      static_cast<double>(elem_size) / dev.scattered_segment_bytes;
-  const double flag_scat_eff = 4.0 / dev.scattered_segment_bytes;
+  const double bytes = static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(elem_size);
+  const double elements = bytes / static_cast<double>(elem_size);
+  const double scat_eff = static_cast<double>(elem_size) /
+                          static_cast<double>(dev.scattered_segment_bytes);
+  const double flag_scat_eff =
+      4.0 / static_cast<double>(dev.scattered_segment_bytes);
   std::vector<pass_model> passes;
   const bool degenerate = tr <= 1 || tc <= 1;
   if (degenerate) {
     passes.push_back({"element cycle follow", bytes, bytes, scat_eff,
                       scat_eff, 4.0, 0.0, true});
   } else {
-    const double chunk1 = static_cast<double>(tc) * elem_size;
-    const double chunk3 = static_cast<double>(tr) * elem_size;
-    const double e1 = block_efficiency(chunk1, dev.streaming_segment_bytes);
-    const double e3 = block_efficiency(chunk3, dev.streaming_segment_bytes);
+    const double chunk1 =
+        static_cast<double>(tc) * static_cast<double>(elem_size);
+    const double chunk3 =
+        static_cast<double>(tr) * static_cast<double>(elem_size);
+    const double e1 = block_efficiency(
+        chunk1, static_cast<double>(dev.streaming_segment_bytes));
+    const double e3 = block_efficiency(
+        chunk3, static_cast<double>(dev.streaming_segment_bytes));
     passes.push_back({"band tiling", bytes, bytes, e1, e1, 2.0, 0.0, true});
     // PTTWAC's in-tile transposition moves elements individually, but
     // within a tile the scattered accesses enjoy tile-local reuse.

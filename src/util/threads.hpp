@@ -9,6 +9,11 @@
 
 namespace inplace::util {
 
+/// The OpenMP worker-pool size the next parallel region will use
+/// (omp_get_max_threads), honoring any active thread_count_guard.  In
+/// builds without OpenMP this is always 1: there is no pool to resize, so
+/// requested overrides cannot take effect — check
+/// thread_count_guard::honored() when the count matters.
 [[nodiscard]] inline int hardware_threads() {
 #if defined(INPLACE_HAVE_OPENMP)
   return omp_get_max_threads();
@@ -18,16 +23,23 @@ namespace inplace::util {
 }
 
 /// Scoped override of the OpenMP thread count; restores on destruction.
+///
+/// `threads <= 0` requests no change (the runtime default stays active and
+/// counts as honored).  A positive request is honored only in OpenMP
+/// builds; serial builds always run single-threaded, and `honored()`
+/// reports whether the request actually took effect so callers can detect
+/// a silently-serial configuration instead of assuming parallelism.
 class thread_count_guard {
  public:
-  explicit thread_count_guard(int threads) {
+  explicit thread_count_guard(int threads) : requested_(threads) {
 #if defined(INPLACE_HAVE_OPENMP)
     previous_ = omp_get_max_threads();
     if (threads > 0) {
       omp_set_num_threads(threads);
+      honored_ = omp_get_max_threads() == threads;
     }
 #else
-    (void)threads;
+    honored_ = threads <= 1;  // a serial build honors only "1" (or no-op)
 #endif
   }
 
@@ -40,7 +52,20 @@ class thread_count_guard {
   thread_count_guard(const thread_count_guard&) = delete;
   thread_count_guard& operator=(const thread_count_guard&) = delete;
 
+  /// The thread count passed to the constructor (<= 0 means "no change").
+  [[nodiscard]] int requested() const { return requested_; }
+
+  /// The pool size in effect while this guard is active.
+  [[nodiscard]] int active() const { return hardware_threads(); }
+
+  /// True when the requested override (or "no change") is actually in
+  /// effect.  False when a positive request was ignored — a non-OpenMP
+  /// build, or an OpenMP runtime that refused the resize.
+  [[nodiscard]] bool honored() const { return honored_; }
+
  private:
+  int requested_ = 0;
+  bool honored_ = true;
 #if defined(INPLACE_HAVE_OPENMP)
   int previous_ = 1;
 #endif

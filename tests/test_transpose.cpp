@@ -302,6 +302,51 @@ TEST(AosSoa, RoundTripAndFieldLayout) {
   }
 }
 
+// --- Overflow-prone shapes ---------------------------------------------------
+
+TEST(OverflowShapes, ExtentPastSixteenBitsSingleByte) {
+  // m > 2^16 with 1-byte elements: linear indices reach ~2^26 and the
+  // strength-reduction divisors (m, n, mn-1) leave the exhaustively
+  // tested small range.  Verified in place against the iota-mod-256
+  // pattern, so the ~45 MB buffer is the only large allocation.
+  const std::uint64_t m = 65537, n = 719;  // coprime: no pre-rotation
+  std::vector<std::uint8_t> a(m * n);
+  util::fill_iota(std::span<std::uint8_t>(a));
+  transpose(a.data(), m, n);
+  for (std::uint64_t i = 0; i < m; i += 97) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(a[j * m + i], static_cast<std::uint8_t>(i * n + j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+  transpose(a.data(), n, m);  // round-trip back to iota
+  for (std::uint64_t l = 0; l < m * n; l += 101) {
+    ASSERT_EQ(a[l], static_cast<std::uint8_t>(l)) << "linear index " << l;
+  }
+}
+
+TEST(OverflowShapes, LargeGcdShapePrerotatesAtScale) {
+  // c = gcd(m, n) = 10 forces the Eq. 23 pre-rotation on a ~45 MB
+  // buffer; mn - 1 = 46,803,399 stresses reciprocals far outside the
+  // small-shape sweeps.
+  const std::uint64_t m = 46340, n = 1010;
+  std::vector<std::uint8_t> a(m * n);
+  util::fill_iota(std::span<std::uint8_t>(a));
+  options opts;
+  opts.engine = engine_kind::blocked;
+  c2r(a.data(), m, n, opts);
+  for (std::uint64_t i = 0; i < m; i += 211) {
+    for (std::uint64_t j = 0; j < n; j += 3) {
+      ASSERT_EQ(a[j * m + i], static_cast<std::uint8_t>(i * n + j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+  r2c(a.data(), m, n, opts);
+  for (std::uint64_t l = 0; l < m * n; l += 127) {
+    ASSERT_EQ(a[l], static_cast<std::uint8_t>(l)) << "linear index " << l;
+  }
+}
+
 // --- Validation -------------------------------------------------------------
 
 TEST(Validation, NullDataWithNonzeroExtentThrows) {

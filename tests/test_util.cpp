@@ -287,4 +287,31 @@ TEST(Threads, GuardRestoresThreadCount) {
   EXPECT_EQ(hardware_threads(), before);
 }
 
+TEST(Threads, GuardReportsRequestAndActivePool) {
+  thread_count_guard noop(0);
+  EXPECT_EQ(noop.requested(), 0);
+  EXPECT_TRUE(noop.honored());  // "no change" is always honored
+  EXPECT_EQ(noop.active(), hardware_threads());
+
+  thread_count_guard one(1);
+  EXPECT_EQ(one.requested(), 1);
+  EXPECT_TRUE(one.honored());
+  EXPECT_EQ(one.active(), 1);
+}
+
+TEST(Threads, GuardHonoredTracksWhetherOverrideTookEffect) {
+  // The honored() contract: true iff the active pool equals the positive
+  // request.  Serial builds can never honor a multi-thread request;
+  // OpenMP builds report whatever the runtime actually granted, so
+  // callers can detect a silently-serial configuration.
+  thread_count_guard guard(3);
+  EXPECT_EQ(guard.requested(), 3);
+#if defined(INPLACE_HAVE_OPENMP)
+  EXPECT_EQ(guard.honored(), guard.active() == 3);
+#else
+  EXPECT_FALSE(guard.honored());
+  EXPECT_EQ(guard.active(), 1);
+#endif
+}
+
 }  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Sanitizer build matrix: configures, builds and runs the ctest suite under
+# ASan, UBSan and TSan (tools/permcheck's quick sweep rides along via its
+# ctest registration).  Each sanitizer gets its own build tree so the
+# matrix is incremental across runs.
+#
+#   tools/run_sanitizers.sh                # asan + ubsan (full), tsan (mt)
+#   tools/run_sanitizers.sh --only asan    # one sanitizer
+#   tools/run_sanitizers.sh --jobs 8       # parallel build/test width
+#
+# TSan note: libgomp is not TSan-instrumented, so the thread-sanitized run
+# is restricted to the multi-threaded integration/engine tests and runs
+# with tools/tsan.supp suppressing the runtime's internals.  A clean signal
+# on the OpenMP engines still requires those tests to pass.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+only=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --only) only="$2"; shift 2 ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "usage: $0 [--only asan|ubsan|tsan] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+run_matrix_entry() {
+  local name="$1" sanitize="$2" test_filter="$3"
+  local build_dir="$repo_root/build-$name"
+
+  echo "=== [$name] configure + build (INPLACE_SANITIZE=$sanitize)"
+  cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DINPLACE_SANITIZE="$sanitize" \
+        -DINPLACE_BUILD_BENCH=OFF \
+        -DINPLACE_BUILD_EXAMPLES=OFF > "$build_dir.configure.log" 2>&1 \
+    || { cat "$build_dir.configure.log" >&2; return 1; }
+  cmake --build "$build_dir" -j "$jobs" > "$build_dir.build.log" 2>&1 \
+    || { tail -50 "$build_dir.build.log" >&2; return 1; }
+
+  echo "=== [$name] ctest ${test_filter:+(filter: $test_filter)}"
+  local -a filter_args=()
+  [[ -n "$test_filter" ]] && filter_args=(-R "$test_filter")
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" "${filter_args[@]}")
+}
+
+status=0
+for entry in asan ubsan tsan; do
+  [[ -n "$only" && "$only" != "$entry" ]] && continue
+  case "$entry" in
+    asan)
+      ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+        run_matrix_entry asan address "" || status=1
+      ;;
+    ubsan)
+      UBSAN_OPTIONS="print_stacktrace=1" \
+        run_matrix_entry ubsan undefined "" || status=1
+      ;;
+    tsan)
+      TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:history_size=7" \
+        run_matrix_entry tsan thread \
+        'Integration|Transpose|Executor|Skinny|Threading|permcheck' || status=1
+      ;;
+  esac
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "=== sanitizer matrix: all clean"
+else
+  echo "=== sanitizer matrix: FAILURES (see above)" >&2
+fi
+exit $status

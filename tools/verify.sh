@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The single local gate: tier-1 build + ctest, then the ASan and UBSan
+# suites, then the permcheck exhaustive sweep.  Run this before declaring
+# any change good.
+#
+#   tools/verify.sh              # full gate
+#   tools/verify.sh --fast       # tier-1 + permcheck only (no sanitizers)
+#   tools/verify.sh --max 512    # deeper permcheck sweep (default 256)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+permcheck_max=256
+fast=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) fast=1; shift ;;
+    --max) permcheck_max="$2"; shift 2 ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "usage: $0 [--fast] [--max N] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier-1: cmake + build + ctest"
+cmake -B "$repo_root/build" -S "$repo_root"
+cmake --build "$repo_root/build" -j "$jobs"
+(cd "$repo_root/build" && ctest --output-on-failure -j "$jobs")
+
+if [[ $fast -eq 0 ]]; then
+  "$repo_root/tools/run_sanitizers.sh" --only asan --jobs "$jobs"
+  "$repo_root/tools/run_sanitizers.sh" --only ubsan --jobs "$jobs"
+fi
+
+echo "=== permcheck --max $permcheck_max"
+"$repo_root/build/tools/permcheck" --max "$permcheck_max"
+
+echo "=== verify.sh: all gates green"
