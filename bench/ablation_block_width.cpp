@@ -37,6 +37,13 @@ double run(std::uint64_t m, std::uint64_t n, std::size_t block_bytes,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "ablation_block_width",
+      "sub-rows sized to cache lines maximize the cache-aware rotations' "
+      "line utilization",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Ablation: Section 4.6 sub-row width (cache-line matching)",
       "sub-rows sized to cache lines maximize the cache-aware rotations' "
@@ -54,10 +61,16 @@ int main(int argc, char** argv) {
   std::printf("   (GB/s, 64-bit elements, best of %d)\n", reps);
   for (const std::size_t w : widths) {
     std::printf("  %-12zu", w);
+    const std::string series = "width_" + std::to_string(w) + "_gbs";
     for (const auto& [m, n] : shapes) {
-      std::printf(" %13.3f", run(m, n, w, reps));
+      const double gbs = run(m, n, w, reps);
+      std::printf(" %13.3f", gbs);
+      rep.add_sample(series, "GB/s", gbs);
     }
     std::printf("%s\n", w == 128 ? "   <- default (one cache line)" : "");
   }
+
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -39,6 +39,13 @@ double run(std::uint64_t m, std::uint64_t n, engine_kind engine, int reps) {
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "ablation_cache_aware",
+      "blocked sub-row rotations + cycle-following row permute vs naive "
+      "column-at-a-time passes",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Ablation: Sections 4.6-4.7 cache-aware column operations",
       "blocked sub-row rotations + cycle-following row permute vs naive "
@@ -56,8 +63,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m),
                 static_cast<unsigned long long>(n), blocked, naive,
                 blocked / naive);
+    rep.add_sample("blocked_gbs", "GB/s", blocked);
+    rep.add_sample("naive_gbs", "GB/s", naive);
   }
   std::printf("\n(the gap widens with array size as naive column passes "
               "touch one cache line per element)\n");
+
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

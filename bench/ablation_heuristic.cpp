@@ -38,6 +38,13 @@ double run_once(std::uint64_t m, std::uint64_t n,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "ablation_heuristic",
+      "the combined routine beats either direction alone over random "
+      "shapes",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Ablation: Section 5.2 direction heuristic (m > n -> C2R else R2C)",
       "the combined routine beats either direction alone over random "
@@ -73,5 +80,13 @@ int main(int argc, char** argv) {
               heuristic_wins, count);
   std::printf("(paper: the heuristic \"improves the performance ... more "
               "efficient than either on their own\")\n");
+
+  rep.add_series("c2r_always_gbs", "GB/s", c2r_only);
+  rep.add_series("r2c_always_gbs", "GB/s", r2c_only);
+  rep.add_series("heuristic_gbs", "GB/s", heuristic);
+  rep.note("heuristic_wins", static_cast<std::uint64_t>(heuristic_wins));
+  rep.note("shapes", static_cast<std::uint64_t>(count));
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -37,6 +37,13 @@ double run(std::uint64_t m, std::uint64_t n, bool strength_reduction,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "ablation_strength_reduction",
+      "\"a significant performance improvement\" from reciprocal division "
+      "in the index equations",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Ablation: Section 4.4 arithmetic strength reduction",
       "\"a significant performance improvement\" from reciprocal division "
@@ -65,9 +72,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.n));
     std::printf("  %-15s %-26s %12.3f %12.3f %8.2fx\n", shape_str, s.note,
                 fast, plain, fast / plain);
+    rep.add_sample("fastdiv_gbs", "GB/s", fast);
+    rep.add_sample("plain_div_gbs", "GB/s", plain);
+    rep.add_sample("speedup", "ratio", fast / plain);
   }
   std::printf("\n(speedup > 1 confirms the Section 4.4 claim on this "
               "host; the gain concentrates where index math dominates "
               "memory traffic)\n");
+
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -85,6 +85,13 @@ void print_histogram(const char* name, const std::vector<double>& gbs) {
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "fig3_table1_cpu_histograms",
+      "median GB/s: MKL 0.067 | C2R 1T 0.336 | C2R 8T 1.26 | Gustavson "
+      "1.27 (i7 950; here: scaled extents, this host)",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Figure 3 + Table 1 (CPU in-place transpose throughput histograms)",
       "median GB/s: MKL 0.067 | C2R 1T 0.336 | C2R 8T 1.26 | Gustavson "
@@ -174,6 +181,8 @@ int main(int argc, char** argv) {
                            });
     std::printf("  decomposition/cycle-following gap out of cache: %.1fx\n",
                 dec / cyc);
+    rep.add_sample("spotlight_cycle_following_gbs", "GB/s", cyc);
+    rep.add_sample("spotlight_c2r_gbs", "GB/s", dec);
   }
 
   if (cfg.csv_path) {
@@ -185,5 +194,14 @@ int main(int argc, char** argv) {
               c2r_nt[k], gust[k]);
     }
   }
+
+  rep.add_series("cycle_following_gbs", "GB/s", mkl_sub);
+  rep.add_series("c2r_1t_gbs", "GB/s", c2r_1t);
+  rep.add_series("c2r_all_threads_gbs", "GB/s", c2r_nt);
+  rep.add_series("gustavson_like_gbs", "GB/s", gust);
+  rep.note("matrices", static_cast<std::uint64_t>(count));
+  rep.note("hardware_threads", util::hardware_threads());
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -49,6 +49,13 @@ double measure(direction dir, std::uint64_t m, std::uint64_t n,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "fig4_fig5_landscape",
+      "K20c: 10-26 GB/s; C2R fast band at small n, R2C fast band at small "
+      "m, C2R/R2C symmetric",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Figures 4-5 (C2R / R2C performance landscapes)",
       "K20c: 10-26 GB/s; C2R fast band at small n, R2C fast band at small "
@@ -138,5 +145,14 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  rep.add_series("c2r_landscape_gbs", "GB/s", c2r_grid);
+  rep.add_series("r2c_landscape_gbs", "GB/s", r2c_grid);
+  rep.add_series("heuristic_gbs", "GB/s", heuristic);
+  rep.add_sample("c2r_band_over_bulk", "ratio", c2r_band);
+  rep.add_sample("r2c_band_over_bulk", "ratio", r2c_band);
+  rep.note("grid", static_cast<std::uint64_t>(grid));
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

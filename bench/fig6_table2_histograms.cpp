@@ -62,6 +62,13 @@ void print_histogram(const char* name, const std::vector<double>& gbs) {
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "fig6_table2_histograms",
+      "K20c medians GB/s: Sung(float) 5.33 | C2R(float) 14.23 | "
+      "C2R(double) 19.53",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Figure 6 + Table 2 (tiled baseline vs decomposition histograms)",
       "K20c medians GB/s: Sung(float) 5.33 | C2R(float) 14.23 | "
@@ -151,5 +158,13 @@ int main(int argc, char** argv) {
       csv.row(ms[k], ns[k], sung[k], c2r_f[k], c2r_d[k]);
     }
   }
+
+  rep.add_series("sung_float_gbs", "GB/s", sung);
+  rep.add_series("c2r_float_gbs", "GB/s", c2r_f);
+  rep.add_series("c2r_double_gbs", "GB/s", c2r_d);
+  rep.note("matrices", static_cast<std::uint64_t>(count));
+  rep.note("well_tiled", static_cast<std::uint64_t>(well_tiled));
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -60,6 +60,13 @@ void print_rows(const char* title,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "fig8_unit_stride_aos",
+      "K20c: C2R ~180 GB/s flat; Vector mid; Direct low (up to 45x gap); "
+      "store and copy panels",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Figure 8 (unit-stride AoS store / copy bandwidth vs struct size)",
       "K20c: C2R ~180 GB/s flat; Vector mid; Direct low (up to 45x gap); "
@@ -145,5 +152,22 @@ int main(int argc, char** argv) {
       csv.row(sizes[k], c2r[k].gbs, vec[k].gbs, direct[k].gbs);
     }
   }
+
+  auto model_gbs = [](const std::vector<memsim::bandwidth_point>& pts) {
+    std::vector<double> out;
+    out.reserve(pts.size());
+    for (const auto& p : pts) {
+      out.push_back(p.gbs);
+    }
+    return out;
+  };
+  rep.add_series("model_c2r_gbs", "GB/s", model_gbs(c2r));
+  rep.add_series("model_vector_gbs", "GB/s", model_gbs(vec));
+  rep.add_series("model_direct_gbs", "GB/s", model_gbs(direct));
+  rep.add_series("measured_regtile_gbs", "GB/s", meas_tile.y);
+  rep.add_series("measured_staged_gbs", "GB/s", meas_staged.y);
+  rep.add_series("measured_strided_gbs", "GB/s", meas_direct.y);
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

@@ -39,6 +39,13 @@ util::series to_series(const char* name,
 
 int main(int argc, char** argv) {
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "fig9_random_aos",
+      "K20c: C2R highest; throughput rises toward the cache-line width "
+      "for all strategies",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "Figure 9 (random AoS scatter / gather bandwidth vs struct size)",
       "K20c: C2R highest; throughput rises toward the cache-line width "
@@ -113,6 +120,10 @@ int main(int argc, char** argv) {
     const double s_dir = bytes / clk.seconds() * 1e-9;
     std::printf("  %10zu %14.2f %14.2f %14.2f %14.2f\n",
                 fields * sizeof(float), g_coal, g_dir, s_coal, s_dir);
+    rep.add_sample("measured_gather_coalesced_gbs", "GB/s", g_coal);
+    rep.add_sample("measured_gather_direct_gbs", "GB/s", g_dir);
+    rep.add_sample("measured_scatter_coalesced_gbs", "GB/s", s_coal);
+    rep.add_sample("measured_scatter_direct_gbs", "GB/s", s_dir);
   }
   std::printf("(struct-major = cooperative/C2R analogue; field-major = "
               "compiler-generated analogue)\n");
@@ -125,5 +136,19 @@ int main(int argc, char** argv) {
       csv.row(sizes[k], c2r[k].gbs, vec[k].gbs, direct[k].gbs);
     }
   }
+
+  auto model_gbs = [](const std::vector<memsim::bandwidth_point>& pts) {
+    std::vector<double> out;
+    out.reserve(pts.size());
+    for (const auto& p : pts) {
+      out.push_back(p.gbs);
+    }
+    return out;
+  };
+  rep.add_series("model_c2r_gbs", "GB/s", model_gbs(c2r));
+  rep.add_series("model_vector_gbs", "GB/s", model_gbs(vec));
+  rep.add_series("model_direct_gbs", "GB/s", model_gbs(direct));
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

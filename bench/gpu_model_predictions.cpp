@@ -18,6 +18,13 @@
 int main(int argc, char** argv) {
   using namespace inplace;
   const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "gpu_model_predictions",
+      "K20c medians GB/s: Sung(f32) 5.33 | C2R(f32) 14.23 | C2R(f64) "
+      "19.53 | skinny median 34.3 / max 51",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
   util::print_banner(
       "GPU device-model predictions (Table 2, Figs. 4-7 magnitudes)",
       "K20c medians GB/s: Sung(f32) 5.33 | C2R(f32) 14.23 | C2R(f64) "
@@ -97,5 +104,15 @@ int main(int argc, char** argv) {
     csv.row("c2r_f64", util::median(c2r_f64));
     csv.row("skinny_f64", util::median(skinny));
   }
+
+  rep.add_series("model_sung_f32_gbs", "GB/s", sung);
+  rep.add_series("model_c2r_f32_gbs", "GB/s", c2r_f32);
+  rep.add_series("model_c2r_f64_gbs", "GB/s", c2r_f64);
+  rep.add_series("model_skinny_f64_gbs", "GB/s", skinny);
+  rep.add_series("model_landscape_small_n_gbs", "GB/s", small_n);
+  rep.add_series("model_landscape_bulk_gbs", "GB/s", bulk);
+  rep.note("sampled_arrays", static_cast<std::uint64_t>(samples));
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
   return 0;
 }

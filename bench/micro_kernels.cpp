@@ -17,6 +17,7 @@
 #include "core/rotate.hpp"
 #include "simd/register_transpose.hpp"
 #include "simd/vectorized.hpp"
+#include "util/bench_harness.hpp"
 #include "util/matrix.hpp"
 
 namespace {
@@ -268,6 +269,48 @@ void BM_WarpRegisterTranspose(benchmark::State& state) {
 }
 BENCHMARK(BM_WarpRegisterTranspose)->Arg(4)->Arg(7)->Arg(16)->Arg(32);
 
+// --- custom main: console output + BENCH_micro_kernels.json -----------------
+
+// Mirrors every per-iteration timing into the JSON report while keeping the
+// standard console table.
+class reporting_console final : public benchmark::ConsoleReporter {
+ public:
+  explicit reporting_console(util::bench_report& rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rep_.add_sample(run.benchmark_name(), "s/iter",
+                      run.real_accumulated_time / iters,
+                      /*higher_is_better=*/false);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  util::bench_report& rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Let google-benchmark strip its own --benchmark_* flags first, then hand
+  // the remainder to the shared harness parser (--scale/--json/...).
+  benchmark::Initialize(&argc, argv);
+  const auto cfg = util::parse_bench_args(argc, argv);
+  util::bench_report rep(
+      "micro_kernels",
+      "per-primitive costs behind Sections 4.2-4.7 and 6.2",
+      cfg);
+  telemetry::collector coll;
+  telemetry::scoped_sink sink_guard(&coll);
+  reporting_console reporter(rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
+  rep.write();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <optional>
 
 #include "core/contracts.hpp"
@@ -69,6 +70,10 @@ class transposer {
                       ws_->line.size() >= std::max(plan_.m, plan_.n),
                   "workspace line smaller than max(m, n) — Theorem 6's "
                   "scratch bound");
+    detail::note_plan_record<T>(plan_);
+    INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                           2 * plan_.m * plan_.n * sizeof(T),
+                           plan_.scratch_elements() * sizeof(T));
     switch (plan_.engine) {
       case engine_kind::reference:
         if (plan_.dir == direction::c2r) {
@@ -84,7 +89,6 @@ class transposer {
           detail::r2c_skinny(data, mm, *ws_);
         }
         break;
-      case engine_kind::automatic:
       case engine_kind::blocked:
         if (plan_.dir == direction::c2r) {
           detail::c2r_blocked(data, mm, plan_, *pool_);
@@ -92,6 +96,16 @@ class transposer {
           detail::r2c_blocked(data, mm, plan_, *pool_);
         }
         break;
+      case engine_kind::automatic:
+        // The constructor's make_plan_for_shape resolves `automatic`
+        // (plan postcondition); reaching this case means plan_ was
+        // corrupted after construction.  Fail loudly instead of silently
+        // running the blocked engine.
+        INPLACE_CHECK(
+            false, "unresolved engine_kind::automatic reached the executor");
+        throw error(
+            "inplace: transposer plan corrupted — unresolved "
+            "engine_kind::automatic at execution time");
     }
   }
 
@@ -113,9 +127,26 @@ void transpose_batched(T* data, std::size_t batch, std::size_t rows,
   if (batch == 0) {
     return;
   }
-  detail::checked_extent(data, rows, cols);
+  // checked_extent covers one matrix; the whole batch must also address
+  // within size_t, in elements (the k * stride offsets below) *and* in
+  // bytes — batch * rows * cols * sizeof(T) — or the offsets wrap and the
+  // loop scribbles over low memory.
+  const std::size_t stride = detail::checked_extent(data, rows, cols);
+  constexpr std::size_t size_max = std::numeric_limits<std::size_t>::max();
+  if (stride != 0 && batch > size_max / stride) {
+    throw error("inplace: batch*rows*cols overflows size_t (" +
+                std::to_string(batch) + " x " + std::to_string(rows) +
+                " x " + std::to_string(cols) + ")");
+  }
+  const std::size_t total = batch * stride;
+  if (total > size_max / sizeof(T)) {
+    throw error("inplace: batched byte extent overflows size_t (" +
+                std::to_string(total) + " elements of " +
+                std::to_string(sizeof(T)) + " bytes)");
+  }
+  INPLACE_REQUIRE(stride == 0 || total / stride == batch,
+                  "batched extent product must not wrap size_t");
   transposer<T> tr(rows, cols, order, opts);
-  const std::size_t stride = rows * cols;
   for (std::size_t k = 0; k < batch; ++k) {
     tr(data + k * stride);
   }

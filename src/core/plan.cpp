@@ -47,8 +47,12 @@ transpose_plan make_directed_plan(const void* data, std::size_t m,
     plan.engine = engine_kind::blocked;
   }
 
-  // Plan postconditions: the planner must never hand an engine a shape it
-  // cannot run, and the scratch sizing must honor Theorem 6's bound.
+  // Plan postconditions: the planner must resolve `automatic` to a
+  // concrete engine (the executors refuse unresolved plans), must never
+  // hand an engine a shape it cannot run, and the scratch sizing must
+  // honor Theorem 6's bound.
+  INPLACE_ENSURE(plan.engine != engine_kind::automatic,
+                 "planner left engine_kind::automatic unresolved");
   INPLACE_ENSURE(plan.engine != engine_kind::skinny ||
                      (plan.n <= skinny_col_limit && plan.m > plan.n),
                  "skinny engine selected for a non-skinny shape");

@@ -21,6 +21,25 @@ enum class engine_kind {
   skinny,     ///< Section 6.1 fused streaming passes (narrow arrays)
 };
 
+/// Stable display names (telemetry plan records, bench JSON).
+[[nodiscard]] constexpr const char* engine_name(engine_kind e) {
+  switch (e) {
+    case engine_kind::automatic:
+      return "automatic";
+    case engine_kind::reference:
+      return "reference";
+    case engine_kind::blocked:
+      return "blocked";
+    case engine_kind::skinny:
+      return "skinny";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr const char* direction_name(direction d) {
+  return d == direction::c2r ? "c2r" : "r2c";
+}
+
 /// User-facing knobs for the public API.
 struct options {
   /// Force a direction; `automatic` applies the paper's heuristic

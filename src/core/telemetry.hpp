@@ -1,0 +1,240 @@
+#pragma once
+// Observability layer: per-stage spans and plan records for the engines.
+//
+// The paper's throughput model (Eq. 37) counts an ideal transpose as one
+// read and one write of the whole array; every engine stage (pre-rotation
+// Eq. 23, row shuffle Eq. 24/31, column shuffle Eq. 26/32-34) moves the
+// same 2*m*n*elem bytes again.  This header lets the benches attribute
+// wall time to those stages without perturbing the hot paths:
+//
+//   * Compile-time gate: the INPLACE_TELEMETRY macro.  Hook call sites
+//     (INPLACE_TELEMETRY_SPAN / INPLACE_TELEMETRY_PLAN, placed in the
+//     engine headers) expand to nothing when it is undefined — the
+//     default library build carries zero instrumentation code.  Bench
+//     translation units opt in per target, the same way test_contracts
+//     opts into INPLACE_ENABLE_CHECKS: the engines are header templates,
+//     so each binary instantiates its own (un)instrumented copy.
+//   * Runtime gate: a process-global sink pointer.  With no sink
+//     installed, an instrumented span costs one atomic load and a branch;
+//     with a sink, each span adds two steady_clock reads per *stage* (not
+//     per element), which is noise against a full matrix pass.
+//
+// The sink registry and the bounded `collector` below compile
+// unconditionally into the library so that instrumented and plain
+// translation units can share one recording endpoint.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace inplace::telemetry {
+
+/// Engine stages, matching the decomposition's three passes plus the
+/// end-to-end envelope.
+enum class stage : std::uint8_t {
+  total = 0,        ///< whole transposition (Eq. 37 envelope)
+  prerotate = 1,    ///< Eq. 23 column pre-rotation (and its inverse Eq. 36)
+  row_shuffle = 2,  ///< Eq. 24 scatter / Eq. 31 gather row pass
+  col_shuffle = 3,  ///< Eq. 26 / Eqs. 32-34 column shuffle
+};
+inline constexpr std::size_t stage_count = 4;
+
+[[nodiscard]] constexpr const char* stage_name(stage s) {
+  switch (s) {
+    case stage::total:
+      return "total";
+    case stage::prerotate:
+      return "prerotate";
+    case stage::row_shuffle:
+      return "row_shuffle";
+    case stage::col_shuffle:
+      return "col_shuffle";
+  }
+  return "unknown";
+}
+
+/// One closed span: a stage's wall time plus its minimum memory traffic
+/// (each pass reads and writes every element once: 2*m*n*elem bytes).
+struct span_record {
+  stage s = stage::total;
+  int depth = 0;  ///< nesting depth at open: 0 = envelope, 1 = pass
+  double seconds = 0.0;
+  std::uint64_t bytes_moved = 0;    ///< modelled traffic for the stage
+  std::uint64_t scratch_bytes = 0;  ///< auxiliary space in use (Theorem 6)
+};
+
+/// One planning decision, recorded per executed transposition.
+struct plan_record {
+  const char* engine = "";     ///< engine_name(plan.engine)
+  const char* direction = "";  ///< direction_name(plan.dir)
+  std::uint64_t m = 0;
+  std::uint64_t n = 0;
+  std::uint64_t block_width = 0;
+  std::size_t elem_size = 0;
+  bool strength_reduction = true;
+  int threads_requested = 0;  ///< thread_count_guard::requested()
+  int threads_active = 0;     ///< thread_count_guard::active()
+  bool threads_honored = true;
+};
+
+/// Receiver for telemetry events.  Implementations must tolerate calls
+/// from whichever thread runs the engine entry point (the parallel loops
+/// inside a stage do not emit).
+class sink {
+ public:
+  virtual ~sink() = default;
+  virtual void on_span(const span_record& rec) = 0;
+  virtual void on_plan(const plan_record& rec) = 0;
+};
+
+/// Installs `s` as the process-global sink (nullptr disables recording)
+/// and returns the previous sink.
+sink* exchange_sink(sink* s);
+
+/// The currently installed sink, or nullptr.
+[[nodiscard]] sink* current_sink();
+
+/// Per-thread span nesting depth (0 outside any span).
+[[nodiscard]] int& span_depth();
+
+/// RAII sink installation for benches and tests; restores the previous
+/// sink on destruction.
+class scoped_sink {
+ public:
+  explicit scoped_sink(sink* s) : previous_(exchange_sink(s)) {}
+  ~scoped_sink() { exchange_sink(previous_); }
+  scoped_sink(const scoped_sink&) = delete;
+  scoped_sink& operator=(const scoped_sink&) = delete;
+
+ private:
+  sink* previous_;
+};
+
+/// Running aggregate for one stage across a collector's lifetime.
+struct stage_total {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t scratch_bytes_max = 0;
+};
+
+/// A bounded, thread-safe sink: aggregates per-stage totals and distinct
+/// plan decisions on the fly, keeping at most `raw_cap` raw spans (so a
+/// microbenchmark loop emitting millions of spans cannot exhaust memory —
+/// the aggregates keep counting past the cap).
+class collector final : public sink {
+ public:
+  struct plan_count {
+    plan_record rec;
+    std::uint64_t count = 0;
+  };
+
+  explicit collector(std::size_t raw_cap = 4096) : raw_cap_(raw_cap) {}
+
+  void on_span(const span_record& rec) override;
+  void on_plan(const plan_record& rec) override;
+
+  [[nodiscard]] std::vector<span_record> raw_spans() const;
+  [[nodiscard]] std::array<stage_total, stage_count> totals() const;
+  [[nodiscard]] std::vector<plan_count> plan_counts() const;
+  [[nodiscard]] std::uint64_t spans_seen() const;
+  [[nodiscard]] std::uint64_t plans_seen() const;
+  /// True when distinct plan shapes exceeded the dedup table and were
+  /// folded into plans_seen() only.
+  [[nodiscard]] bool plans_truncated() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t plan_table_cap = 64;
+
+  mutable std::mutex mu_;
+  std::size_t raw_cap_;
+  std::vector<span_record> spans_;
+  std::array<stage_total, stage_count> totals_{};
+  std::vector<plan_count> plans_;
+  std::uint64_t spans_seen_ = 0;
+  std::uint64_t plans_seen_ = 0;
+  bool plans_truncated_ = false;
+};
+
+// --- compile-time-gated hooks ------------------------------------------------
+//
+// Both span types are always defined (distinct names, so mixed-setting
+// translation units never violate the ODR); the macro picks one.  The
+// disabled span is an empty literal type — test_telemetry_off verifies
+// sizeof(stage_span) == 1 in an uninstrumented TU, the "compiles to
+// nothing" size check.
+
+/// Live span: opens on construction, records to the sink on destruction.
+class enabled_span {
+ public:
+  enabled_span(stage s, std::uint64_t bytes_moved,
+               std::uint64_t scratch_bytes)
+      : sink_(current_sink()) {
+    if (sink_ != nullptr) {
+      rec_.s = s;
+      rec_.bytes_moved = bytes_moved;
+      rec_.scratch_bytes = scratch_bytes;
+      rec_.depth = span_depth()++;
+      start_ = clock::now();
+    }
+  }
+
+  ~enabled_span() {
+    if (sink_ != nullptr) {
+      rec_.seconds =
+          std::chrono::duration<double>(clock::now() - start_).count();
+      --span_depth();
+      sink_->on_span(rec_);
+    }
+  }
+
+  enabled_span(const enabled_span&) = delete;
+  enabled_span& operator=(const enabled_span&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  sink* sink_;
+  span_record rec_;
+  clock::time_point start_{};
+};
+
+/// Compiled-out span: a no-op literal type with the same constructor
+/// shape, so sizeof() checks can prove the off configuration is empty.
+struct disabled_span {
+  constexpr disabled_span(stage, std::uint64_t, std::uint64_t) noexcept {}
+};
+
+/// Forwards a plan record to the sink, if any.  Only instrumented call
+/// sites (INPLACE_TELEMETRY_PLAN) reach this.
+inline void note_plan(const plan_record& rec) {
+  if (sink* s = current_sink()) {
+    s->on_plan(rec);
+  }
+}
+
+}  // namespace inplace::telemetry
+
+#if defined(INPLACE_TELEMETRY)
+#define INPLACE_TELEMETRY_ENABLED 1
+namespace inplace::telemetry {
+using stage_span = enabled_span;
+}
+/// Opens a RAII stage span named `var` for the rest of the scope.
+#define INPLACE_TELEMETRY_SPAN(var, st, bytes, scratch) \
+  ::inplace::telemetry::stage_span var { st, bytes, scratch }
+#define INPLACE_TELEMETRY_PLAN(rec) ::inplace::telemetry::note_plan(rec)
+#else
+#define INPLACE_TELEMETRY_ENABLED 0
+namespace inplace::telemetry {
+using stage_span = disabled_span;
+}
+/// Telemetry compiled out: the hook vanishes (arguments are not
+/// evaluated).
+#define INPLACE_TELEMETRY_SPAN(var, st, bytes, scratch) static_cast<void>(0)
+#define INPLACE_TELEMETRY_PLAN(rec) static_cast<void>(0)
+#endif

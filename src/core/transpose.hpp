@@ -21,13 +21,41 @@
 #include "core/errors.hpp"
 #include "core/layout.hpp"
 #include "core/plan.hpp"
+#include "core/telemetry.hpp"
 #include "cpu/engine_blocked.hpp"
 #include "cpu/engine_reference.hpp"
 #include "cpu/skinny.hpp"
+#include "util/threads.hpp"
 
 namespace inplace {
 
 namespace detail {
+
+/// Emits one telemetry plan record for an execution about to run.
+/// Compiles to an empty function unless the translation unit defines
+/// INPLACE_TELEMETRY.
+template <typename T>
+inline void note_plan_record([[maybe_unused]] const transpose_plan& plan) {
+#if INPLACE_TELEMETRY_ENABLED
+  if (telemetry::current_sink() != nullptr) {
+    // A short-lived guard probes what thread pool this plan's request
+    // would actually get (thread_count_guard restores on destruction).
+    util::thread_count_guard probe(plan.threads);
+    telemetry::plan_record rec;
+    rec.engine = engine_name(plan.engine);
+    rec.direction = direction_name(plan.dir);
+    rec.m = plan.m;
+    rec.n = plan.n;
+    rec.block_width = plan.block_width;
+    rec.elem_size = sizeof(T);
+    rec.strength_reduction = plan.strength_reduction;
+    rec.threads_requested = probe.requested();
+    rec.threads_active = probe.active();
+    rec.threads_honored = probe.honored();
+    INPLACE_TELEMETRY_PLAN(rec);
+  }
+#endif
+}
 
 template <typename T, typename Math>
 void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
@@ -54,7 +82,6 @@ void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
       }
       break;
     }
-    case engine_kind::automatic:  // resolved by the planner; treat as blocked
     case engine_kind::blocked:
       if (plan.dir == direction::c2r) {
         c2r_blocked(data, mm, plan);
@@ -62,6 +89,16 @@ void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
         r2c_blocked(data, mm, plan);
       }
       break;
+    case engine_kind::automatic:
+      // make_plan/make_directed_plan guarantee a concrete engine (plan
+      // postcondition); an unresolved plan here is forged or corrupted.
+      // Fail loudly instead of silently picking an engine.
+      INPLACE_CHECK(false,
+                    "unresolved engine_kind::automatic reached the executor");
+      throw error(
+          "inplace: plan with unresolved engine_kind::automatic reached "
+          "the executor (plans must come from make_plan/make_directed_"
+          "plan/make_plan_for_shape)");
   }
 }
 
@@ -72,6 +109,10 @@ void execute_plan(T* data, const transpose_plan& plan) {
   if (plan.m <= 1 || plan.n <= 1) {
     return;
   }
+  note_plan_record<T>(plan);
+  INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                         2 * plan.m * plan.n * sizeof(T),
+                         plan.scratch_elements() * sizeof(T));
   if (plan.strength_reduction) {
     const transpose_math<fast_divmod> mm(plan.m, plan.n);
     run_with_math(data, mm, plan);

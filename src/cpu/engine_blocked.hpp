@@ -18,6 +18,7 @@
 #include "core/permute.hpp"
 #include "core/plan.hpp"
 #include "core/rotate.hpp"
+#include "core/telemetry.hpp"
 #include "util/threads.hpp"
 
 #if defined(INPLACE_HAVE_OPENMP)
@@ -255,13 +256,25 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
   const std::uint64_t width = plan.block_width;
   util::thread_count_guard guard(plan.threads);
 
+  // Every pass reads and writes each element once: 2*m*n*elem bytes of
+  // modelled traffic per stage span (the per-stage analogue of Eq. 37).
   if (mm.needs_prerotate()) {
+    INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
+                           2 * m * n * sizeof(T), 0);
     rotate_all_parallel(
         a, m, n, width,
         [&](std::uint64_t j) { return mm.prerotate_offset(j); }, pool);
   }
-  c2r_row_pass(a, mm, pool);
-  c2r_col_shuffle(a, mm, width, pool);
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    c2r_row_pass(a, mm, pool);
+  }
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    c2r_col_shuffle(a, mm, width, pool);
+  }
 }
 
 /// Cache-aware, parallel C2R transposition.
@@ -281,9 +294,19 @@ void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
   const std::uint64_t width = plan.block_width;
   util::thread_count_guard guard(plan.threads);
 
-  r2c_col_shuffle(a, mm, width, pool);
-  r2c_row_pass(a, mm, pool);
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    r2c_col_shuffle(a, mm, width, pool);
+  }
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    r2c_row_pass(a, mm, pool);
+  }
   if (mm.needs_prerotate()) {
+    INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
+                           2 * m * n * sizeof(T), 0);
     rotate_all_parallel(
         a, m, n, width,
         [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); }, pool);

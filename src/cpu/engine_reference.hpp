@@ -9,6 +9,7 @@
 
 #include "core/equations.hpp"
 #include "core/permute.hpp"
+#include "core/telemetry.hpp"
 
 namespace inplace::detail {
 
@@ -30,6 +31,8 @@ void c2r_reference(T* a, const Math& mm, workspace<T>& ws,
 
   // Step 1 — pre-rotation (Eq. 23), needed only when gcd(m, n) > 1.
   if (mm.needs_prerotate()) {
+    INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
+                           2 * m * n * sizeof(T), 0);
     for (std::uint64_t j = 0; j < n; ++j) {
       const std::uint64_t k = mm.prerotate_offset(j);
       column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
@@ -44,16 +47,24 @@ void c2r_reference(T* a, const Math& mm, workspace<T>& ws,
   }
 
   // Step 2 — row shuffle, scatter per Eq. 24.
-  for (std::uint64_t i = 0; i < m; ++i) {
-    row_scatter_inplace(a + i * n, n, tmp,
-                        [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      row_scatter_inplace(a + i * n, n, tmp,
+                          [&](std::uint64_t j) { return mm.d_prime(i, j); });
+    }
   }
 
   // Step 3 — column shuffle, gather per Eq. 26.
-  for (std::uint64_t j = 0; j < n; ++j) {
-    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-      return mm.s_prime(i, j);
-    });
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+        return mm.s_prime(i, j);
+      });
+    }
   }
   if (tc) {
     tc->reads += 2 * m * n;
@@ -101,15 +112,19 @@ void r2c_reference(T* a, const Math& mm, workspace<T>& ws,
   // Step 1 — inverse column shuffle.  The C2R column shuffle is the gather
   // composition p_j then q, so its inverse is the single gather
   // q^-1((i + p^-1_j) mod m) (Eqs. 34-35), one pass per column.
-  for (std::uint64_t j = 0; j < n; ++j) {
-    const std::uint64_t k = mm.p_inv_offset(j);
-    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-      std::uint64_t s = i + k;
-      if (s >= m) {
-        s -= m;
-      }
-      return mm.q_inv(s);
-    });
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t k = mm.p_inv_offset(j);
+      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
+        std::uint64_t s = i + k;
+        if (s >= m) {
+          s -= m;
+        }
+        return mm.q_inv(s);
+      });
+    }
   }
   if (tc) {
     tc->reads += m * n;
@@ -117,13 +132,19 @@ void r2c_reference(T* a, const Math& mm, workspace<T>& ws,
   }
 
   // Step 2 — row shuffle; the gather form uses d' directly (Section 4.3).
-  for (std::uint64_t i = 0; i < m; ++i) {
-    row_gather_inplace(a + i * n, n, tmp,
-                       [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      row_gather_inplace(a + i * n, n, tmp,
+                         [&](std::uint64_t j) { return mm.d_prime(i, j); });
+    }
   }
 
   // Step 3 — inverse pre-rotation (Eq. 36), when gcd(m, n) > 1.
   if (mm.needs_prerotate()) {
+    INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
+                           2 * m * n * sizeof(T), 0);
     for (std::uint64_t j = 0; j < n; ++j) {
       const std::uint64_t k = mm.prerotate_inv_offset(j);
       column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {

@@ -19,6 +19,7 @@
 #include "core/equations.hpp"
 #include "core/permute.hpp"
 #include "core/rotate.hpp"
+#include "core/telemetry.hpp"
 
 namespace inplace::detail {
 
@@ -41,18 +42,27 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws) {
   // Eq. 24): tmp[d'_i(j)] <- A[(i + ⌊j/b⌋) mod m][j].  Sources sit at or
   // below the sweep row except for wrapped reads, which the head buffer
   // (original rows [0, c-1)) serves.
-  const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
-  for (std::uint64_t r = 0; r < head_rows; ++r) {
-    std::copy(a + r * n, a + (r + 1) * n, head + r * n);
-  }
-  for (std::uint64_t i = 0; i < m; ++i) {
-    d_prime_stepper step(mm, i);
-    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
-      const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
-      tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
+    for (std::uint64_t r = 0; r < head_rows; ++r) {
+      std::copy(a + r * n, a + (r + 1) * n, head + r * n);
     }
-    std::copy(tmp, tmp + n, a + i * n);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      d_prime_stepper step(mm, i);
+      for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+        const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
+        tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
+      }
+      std::copy(tmp, tmp + n, a + i * n);
+    }
   }
+
+  // Passes 2+3 are the column shuffle split into its rotation and static
+  // row-permutation components; one span covers both.
+  INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                         4 * m * n * sizeof(T), 0);
 
   // Pass 2 — rotation component p_j of the column shuffle.  Offsets are
   // exactly j in [0, n) < m, so the fine streaming pass applies directly.
@@ -78,19 +88,27 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws) {
   T* tmp = ws.line.data();
   T* head = ws.head.data();
 
-  // Pass 1 — inverse row permutation q^-1, whole-row cycle following.
-  find_cycles(m, [&](std::uint64_t i) { return mm.q_inv(i); }, ws.visited,
-              ws.cycle_starts);
-  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
-                        [&](std::uint64_t i) { return mm.q_inv(i); },
-                        ws.cycle_starts, tmp);
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           4 * m * n * sizeof(T), 0);
 
-  // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
-  // machinery normalizes them to a coarse whole-row rotation plus small
-  // residuals).
-  rotate_group_cache_aware(a, m, n, /*j0=*/0, /*w=*/n,
-                           [&](std::uint64_t j) { return mm.p_inv_offset(j); },
-                           ws);
+    // Pass 1 — inverse row permutation q^-1, whole-row cycle following.
+    find_cycles(m, [&](std::uint64_t i) { return mm.q_inv(i); }, ws.visited,
+                ws.cycle_starts);
+    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
+                          [&](std::uint64_t i) { return mm.q_inv(i); },
+                          ws.cycle_starts, tmp);
+
+    // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
+    // machinery normalizes them to a coarse whole-row rotation plus small
+    // residuals).
+    rotate_group_cache_aware(
+        a, m, n, /*j0=*/0, /*w=*/n,
+        [&](std::uint64_t j) { return mm.p_inv_offset(j); }, ws);
+  }
+
+  INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                         2 * m * n * sizeof(T), 0);
 
   // Pass 3 — row shuffle (gather d') fused with the inverse pre-rotation
   // (gather offset -⌊j/b⌋): row i, col j <- row (i - ⌊j/b⌋) mod m, col

@@ -1,0 +1,182 @@
+// Comparator core for the perf-regression gate: diffs two schema-versioned
+// BENCH_*.json reports series-by-series with noise-aware thresholds.  A
+// series regresses only when the candidate median moves against the series'
+// declared direction by more than
+//
+//     allowed_drop = max(rel_threshold, mad_k * max(base_mad, cand_mad)
+//                                             / |base_median|)
+//
+// so noisy series earn a proportionally wider band (MAD is the robust
+// dispersion the harness already emits) while quiet series are held to the
+// flat relative threshold.  Header-only so tools/bench_gate.cpp and the
+// unit tests share one implementation.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bench_harness.hpp"  // bench_schema
+#include "util/json.hpp"
+
+namespace inplace::util {
+
+struct gate_options {
+  double rel_threshold = 0.10;  ///< flat allowance: 10% median movement
+  double mad_k = 4.0;           ///< noise band half-width, in MADs
+  bool fail_on_missing = true;  ///< a series present in base but absent in
+                                ///< the candidate fails the gate
+};
+
+enum class gate_status {
+  ok,         ///< within the allowance (includes improvements)
+  regressed,  ///< moved against the series' direction beyond the allowance
+  missing,    ///< present in base, absent in candidate
+  skipped,    ///< not comparable (empty series or zero base median)
+};
+
+struct gate_finding {
+  std::string series;
+  gate_status status = gate_status::ok;
+  double base_median = 0.0;
+  double cand_median = 0.0;
+  /// Signed relative movement in the series' direction: positive means the
+  /// candidate improved, negative means it got worse.
+  double rel_change = 0.0;
+  double allowed_drop = 0.0;
+  std::string detail;
+};
+
+struct gate_result {
+  std::string artifact;
+  std::vector<gate_finding> findings;
+  std::size_t regressed = 0;
+  std::size_t missing = 0;
+  std::size_t compared = 0;
+
+  [[nodiscard]] bool passed(const gate_options& opt) const {
+    return regressed == 0 && (missing == 0 || !opt.fail_on_missing);
+  }
+};
+
+namespace detail {
+
+struct series_view {
+  std::string name;
+  std::string direction;
+  double median = 0.0;
+  double mad = 0.0;
+  std::size_t count = 0;
+};
+
+inline std::vector<series_view> load_series(const json::value& report) {
+  std::vector<series_view> out;
+  for (const json::value& s : report.at("series").as_array()) {
+    series_view v;
+    v.name = s.at("name").as_string();
+    v.direction = s.at("direction").as_string();
+    v.count = static_cast<std::size_t>(s.at("count").as_number());
+    if (v.count > 0) {
+      v.median = s.at("median").as_number();
+      v.mad = s.at("mad").as_number();
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+inline void require_schema(const json::value& report, std::string_view role) {
+  const json::value* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != bench_schema) {
+    throw std::runtime_error(std::string(role) + " report is not a '" +
+                             bench_schema + "' document");
+  }
+}
+
+}  // namespace detail
+
+/// Compare a candidate report against a baseline.  Throws
+/// std::runtime_error when the documents are not comparable at all (wrong
+/// schema, different artifact); per-series trouble lands in the findings.
+[[nodiscard]] inline gate_result compare_reports(const json::value& base,
+                                                 const json::value& cand,
+                                                 const gate_options& opt) {
+  detail::require_schema(base, "baseline");
+  detail::require_schema(cand, "candidate");
+  const std::string& base_artifact = base.at("artifact").as_string();
+  const std::string& cand_artifact = cand.at("artifact").as_string();
+  if (base_artifact != cand_artifact) {
+    throw std::runtime_error("artifact mismatch: baseline '" + base_artifact +
+                             "' vs candidate '" + cand_artifact + "'");
+  }
+
+  gate_result result;
+  result.artifact = base_artifact;
+  const auto base_series = detail::load_series(base);
+  const auto cand_series = detail::load_series(cand);
+
+  for (const auto& b : base_series) {
+    gate_finding f;
+    f.series = b.name;
+    f.base_median = b.median;
+
+    const detail::series_view* c = nullptr;
+    for (const auto& candidate : cand_series) {
+      if (candidate.name == b.name) {
+        c = &candidate;
+        break;
+      }
+    }
+    if (c == nullptr) {
+      f.status = gate_status::missing;
+      f.detail = "series absent from candidate report";
+      ++result.missing;
+      result.findings.push_back(std::move(f));
+      continue;
+    }
+    f.cand_median = c->median;
+    if (b.count == 0 || c->count == 0) {
+      f.status = gate_status::skipped;
+      f.detail = "empty series";
+      result.findings.push_back(std::move(f));
+      continue;
+    }
+    if (b.direction != c->direction) {
+      f.status = gate_status::missing;
+      f.detail = "direction changed: " + b.direction + " -> " + c->direction;
+      ++result.missing;
+      result.findings.push_back(std::move(f));
+      continue;
+    }
+    if (b.median == 0.0 || !std::isfinite(b.median) ||
+        !std::isfinite(c->median)) {
+      f.status = gate_status::skipped;
+      f.detail = "non-finite or zero baseline median";
+      result.findings.push_back(std::move(f));
+      continue;
+    }
+
+    const bool higher_is_better = b.direction == "higher_is_better";
+    const double signed_change = (c->median - b.median) / std::abs(b.median);
+    f.rel_change = higher_is_better ? signed_change : -signed_change;
+    const double noise_band =
+        opt.mad_k * std::max(b.mad, c->mad) / std::abs(b.median);
+    f.allowed_drop = std::max(opt.rel_threshold, noise_band);
+    if (f.rel_change < -f.allowed_drop) {
+      f.status = gate_status::regressed;
+      ++result.regressed;
+    }
+    ++result.compared;
+    result.findings.push_back(std::move(f));
+  }
+
+  return result;
+}
+
+}  // namespace inplace::util

@@ -1,0 +1,531 @@
+#pragma once
+// Minimal JSON document model for the benchmark reports: enough of
+// RFC 8259 to serialize BENCH_*.json files and for tools/bench_gate to
+// parse them back, with zero third-party dependencies.  Objects preserve
+// insertion order so emitted reports diff cleanly run-to-run.
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace inplace::util::json {
+
+/// Thrown on malformed documents (parse) and type mismatches (accessors).
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class value;
+using array = std::vector<value>;
+/// Insertion-ordered key/value sequence (reports stay diffable).
+using object = std::vector<std::pair<std::string, value>>;
+
+// Storage is one tagged struct of plain members rather than std::variant:
+// a report document holds a few hundred nodes at most, so the footprint
+// does not matter, and the memberwise moves sidestep GCC 12's spurious
+// -Wmaybe-uninitialized on variant's visit-based special members.
+class value {
+ public:
+  enum class kind : std::uint8_t {
+    null,
+    boolean,
+    number,
+    string,
+    arr,
+    obj,
+  };
+
+  value() = default;
+  value(std::nullptr_t) {}    // NOLINT(google-explicit-constructor)
+  value(bool b)               // NOLINT(google-explicit-constructor)
+      : kind_(kind::boolean), bool_(b) {}
+  value(double d)             // NOLINT(google-explicit-constructor)
+      : kind_(kind::number), num_(d) {}
+  value(int i)                // NOLINT(google-explicit-constructor)
+      : kind_(kind::number), num_(static_cast<double>(i)) {}
+  value(std::uint64_t u)      // NOLINT(google-explicit-constructor)
+      : kind_(kind::number), num_(static_cast<double>(u)) {}
+  value(const char* s)        // NOLINT(google-explicit-constructor)
+      : kind_(kind::string), str_(s) {}
+  value(std::string s)        // NOLINT(google-explicit-constructor)
+      : kind_(kind::string), str_(std::move(s)) {}
+  value(json::array a)        // NOLINT(google-explicit-constructor)
+      : kind_(kind::arr), arr_(std::move(a)) {}
+  value(json::object o)       // NOLINT(google-explicit-constructor)
+      : kind_(kind::obj), obj_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return kind_ == kind::null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == kind::boolean; }
+  [[nodiscard]] bool is_number() const { return kind_ == kind::number; }
+  [[nodiscard]] bool is_string() const { return kind_ == kind::string; }
+  [[nodiscard]] bool is_array() const { return kind_ == kind::arr; }
+  [[nodiscard]] bool is_object() const { return kind_ == kind::obj; }
+
+  [[nodiscard]] bool as_bool() const {
+    require(kind::boolean, "bool");
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    require(kind::number, "number");
+    return num_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    require(kind::string, "string");
+    return str_;
+  }
+  [[nodiscard]] const json::array& as_array() const {
+    require(kind::arr, "array");
+    return arr_;
+  }
+  [[nodiscard]] const json::object& as_object() const {
+    require(kind::obj, "object");
+    return obj_;
+  }
+
+  /// Looks a key up in an object value; nullptr when absent.
+  [[nodiscard]] const value* find(std::string_view key) const {
+    for (const auto& [k, v] : as_object()) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Object member by key; throws when absent.
+  [[nodiscard]] const value& at(std::string_view key) const {
+    if (const value* v = find(key)) {
+      return *v;
+    }
+    throw error("json: missing key \"" + std::string(key) + "\"");
+  }
+
+  /// Appends (or replaces) a member of an object value.
+  void set(std::string_view key, value v) {
+    require(kind::obj, "object");
+    for (auto& [k, existing] : obj_) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    obj_.emplace_back(std::string(key), std::move(v));
+  }
+
+  /// Serializes to text.  `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 2) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+ private:
+  void require(kind k, const char* what) const {
+    if (kind_ != k) {
+      throw error(std::string("json: value is not a ") + what);
+    }
+  }
+
+  static void write_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void write_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+      // JSON has no Inf/NaN; null is the conventional stand-in.
+      out += "null";
+      return;
+    }
+    char buf[32];
+    // %.17g round-trips every double; shorten when a coarser precision
+    // already parses back exactly (keeps "0.1" as 0.1, integers bare).
+    for (const int prec : {15, 16, 17}) {
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+      if (std::strtod(buf, nullptr) == d) {
+        break;
+      }
+    }
+    out += buf;
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+      if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+      }
+    };
+    switch (kind_) {
+      case kind::null:
+        out += "null";
+        break;
+      case kind::boolean:
+        out += bool_ ? "true" : "false";
+        break;
+      case kind::number:
+        write_number(out, num_);
+        break;
+      case kind::string:
+        write_escaped(out, str_);
+        break;
+      case kind::arr: {
+        if (arr_.empty()) {
+          out += "[]";
+          return;
+        }
+        out += '[';
+        bool first = true;
+        for (const value& item : arr_) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          newline(depth + 1);
+          item.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case kind::obj: {
+        if (obj_.empty()) {
+          out += "{}";
+          return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : obj_) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          newline(depth + 1);
+          write_escaped(out, k);
+          out += indent > 0 ? ": " : ":";
+          v.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  json::array arr_;
+  json::object obj_;
+};
+
+namespace detail {
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  value parse_document() {
+    value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int max_depth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  value parse_value(int depth) {
+    if (depth > max_depth) {
+      fail("nesting deeper than " + std::to_string(max_depth));
+    }
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return value(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return value(true);
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return value(false);
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return value(nullptr);
+        }
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  value parse_object(int depth) {
+    expect('{');
+    object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return value(std::move(obj));
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  value parse_array(int depth) {
+    expect('[');
+    array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return value(std::move(arr));
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          append_utf8(out, parse_hex4());
+          break;
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos_ >= text_.size()) {
+        fail("truncated \\u escape");
+      }
+      const char c = text_[pos_++];
+      code <<= 4U;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    // Surrogate pairs are not recombined (the reports only emit ASCII);
+    // lone surrogates become U+FFFD.
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      code = 0xFFFD;
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0U | (code >> 6U));
+      out += static_cast<char>(0x80U | (code & 0x3FU));
+    } else {
+      out += static_cast<char>(0xE0U | (code >> 12U));
+      out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+      out += static_cast<char>(0x80U | (code & 0x3FU));
+    }
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_])) == 0) {
+      fail("invalid number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("invalid number");
+    }
+    return value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses a complete JSON document; throws json::error with the byte
+/// offset on malformed input.
+[[nodiscard]] inline value parse(std::string_view text) {
+  return detail::parser(text).parse_document();
+}
+
+}  // namespace inplace::util::json

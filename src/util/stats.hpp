@@ -51,6 +51,18 @@ namespace inplace::util {
   return *std::max_element(samples.begin(), samples.end());
 }
 
+/// Median absolute deviation from the median — the robust spread estimate
+/// the perf-regression gate uses (a stray slow sample inflates stddev but
+/// barely moves the MAD).
+[[nodiscard]] inline double median_abs_dev(std::span<const double> samples) {
+  const double med = median(samples);
+  std::vector<double> dev(samples.size());
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    dev[k] = std::abs(samples[k] - med);
+  }
+  return median(dev);
+}
+
 /// Sample standard deviation (n-1 denominator).
 [[nodiscard]] inline double stddev(std::span<const double> samples) {
   if (samples.size() < 2) {

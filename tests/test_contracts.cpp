@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -169,6 +170,39 @@ TEST(CheckedExecutor, TransposerChecksPass) {
   inplace::util::fill_iota(std::span<float>(a));
   EXPECT_NO_THROW(tr(a.data()));
   EXPECT_THROW(tr(nullptr), contract_violation);
+}
+
+TEST(CheckedExecutor, PlanPostconditionResolvesAutomatic) {
+  // make_plan's INPLACE_ENSURE postcondition guarantees a concrete
+  // engine even when the caller asks for automatic.
+  inplace::options opts;
+  opts.engine = inplace::engine_kind::automatic;
+  const auto plan = inplace::make_plan_for_shape(
+      300, 200, inplace::storage_order::row_major, opts, sizeof(float));
+  EXPECT_NE(plan.engine, inplace::engine_kind::automatic);
+}
+
+TEST(CheckedExecutor, ForgedAutomaticPlanTripsContract) {
+  // Regression: an unresolved engine_kind::automatic plan used to fall
+  // through to the blocked engine silently.  In this checked TU the
+  // dispatch contract fires before the release-mode throw.
+  inplace::transpose_plan forged;
+  forged.m = 8;
+  forged.n = 8;
+  forged.engine = inplace::engine_kind::automatic;
+  std::vector<float> buf(64, 1.0f);
+  EXPECT_THROW(inplace::detail::execute_plan(buf.data(), forged),
+               contract_violation);
+}
+
+TEST(CheckedExecutor, BatchedOverflowPrecondition) {
+  // The byte/element overflow validation throws inplace::error (public
+  // API surface) even in checked mode, before any contract runs.
+  const std::size_t batch =
+      std::numeric_limits<std::size_t>::max() / 15 + 1;
+  int dummy = 0;
+  EXPECT_THROW(inplace::transpose_batched(&dummy, batch, 3, 5),
+               inplace::error);
 }
 
 TEST(CheckedRotations, ResidualWindowViolationIsCaught) {

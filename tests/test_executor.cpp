@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/matrix.hpp"
@@ -130,6 +131,57 @@ TEST(Executor, PlanIsExposed) {
 TEST(Executor, InvalidShapesThrowAtConstruction) {
   const auto big = std::size_t{1} << 40;
   EXPECT_THROW(transposer<int>(big, big), error);
+}
+
+// Regression: transpose_batched computed batch * rows * cols with plain
+// size_t multiplies, so a huge batch wrapped the offsets and the loop
+// scribbled from the start of the buffer instead of throwing.  The extent
+// must now be validated in elements and in bytes before any work runs.
+TEST(Batched, ElementCountOverflowThrows) {
+  const std::size_t batch =
+      std::numeric_limits<std::size_t>::max() / 15 + 1;
+  int dummy = 0;
+  EXPECT_THROW(transpose_batched(&dummy, batch, 3, 5), error);
+}
+
+TEST(Batched, ByteExtentOverflowThrows) {
+  // 2^61 doubles fit size_t in elements but overflow it in bytes.
+  const std::size_t batch = (std::size_t{1} << 61U) / 15 + 1;
+  double dummy = 0.0;
+  EXPECT_THROW(transpose_batched(&dummy, batch, 3, 5), error);
+}
+
+TEST(Batched, OverflowIsDetectedBeforeTouchingData) {
+  // With a poisoned pointer the call must throw from the validation, not
+  // reach the transposition loop.
+  const std::size_t batch = std::numeric_limits<std::size_t>::max() / 2;
+  auto* poisoned = reinterpret_cast<float*>(0x4);
+  EXPECT_THROW(transpose_batched(poisoned, batch, 64, 64), error);
+}
+
+// Regression: a forged/corrupted plan that still carries
+// engine_kind::automatic used to fall through and silently run the blocked
+// engine; it must fail loudly now.
+TEST(Executor, UnresolvedAutomaticPlanFailsLoudly) {
+  transpose_plan forged;
+  forged.m = 8;
+  forged.n = 8;
+  forged.engine = engine_kind::automatic;
+  std::vector<float> buf(64, 1.0f);
+  EXPECT_THROW(detail::execute_plan(buf.data(), forged), error);
+}
+
+TEST(Executor, PlannedEnginesAreAlwaysConcrete) {
+  util::xoshiro256 rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const std::size_t m = rng.uniform(1, 3000);
+    const std::size_t n = rng.uniform(1, 3000);
+    options opts;
+    opts.engine = engine_kind::automatic;  // explicit request must resolve
+    transposer<float> tr(m, n, storage_order::row_major, opts);
+    EXPECT_NE(tr.plan().engine, engine_kind::automatic)
+        << m << "x" << n;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// Tests for the dependency-free JSON value/emitter/parser
+// (util/json.hpp) and for the bench_report document built on it: dump ->
+// parse round-trips, number fidelity, escaping, and malformed-input
+// rejection.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/bench_harness.hpp"
+
+namespace {
+
+using namespace inplace::util;
+
+TEST(Json, ValueKindsAndAccessors) {
+  json::value null_v;
+  EXPECT_TRUE(null_v.is_null());
+  json::value b = true;
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_TRUE(b.as_bool());
+  json::value num = 2.5;
+  EXPECT_DOUBLE_EQ(num.as_number(), 2.5);
+  json::value str = "hi";
+  EXPECT_EQ(str.as_string(), "hi");
+  EXPECT_THROW((void)str.as_number(), json::error);
+  EXPECT_THROW((void)num.as_array(), json::error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndFinds) {
+  json::object obj;
+  obj.emplace_back("z", 1.0);
+  obj.emplace_back("a", 2.0);
+  const json::value v = obj;
+  const std::string text = v.dump(0);
+  EXPECT_LT(text.find("\"z\""), text.find("\"a\""));  // not sorted
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), json::error);
+}
+
+TEST(Json, DumpParseRoundTripsStructure) {
+  json::object inner;
+  inner.emplace_back("flag", true);
+  inner.emplace_back("name", "x\"y\\z\n\t");
+  json::array arr;
+  arr.emplace_back(1.0);
+  arr.emplace_back(json::value{});
+  arr.emplace_back(std::move(inner));
+  json::object doc;
+  doc.emplace_back("items", std::move(arr));
+  doc.emplace_back("count", 3.0);
+  const json::value v = doc;
+
+  const json::value back = json::parse(v.dump(2));
+  EXPECT_EQ(back.at("count").as_number(), 3.0);
+  const auto& items = back.at("items").as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items[0].as_number(), 1.0);
+  EXPECT_TRUE(items[1].is_null());
+  EXPECT_TRUE(items[2].at("flag").as_bool());
+  EXPECT_EQ(items[2].at("name").as_string(), "x\"y\\z\n\t");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.5,
+                          1e-300,
+                          1e300,
+                          0.1,
+                          1.0 / 3.0,
+                          3.141592653589793,
+                          static_cast<double>(1ULL << 53U),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max()};
+  for (const double x : cases) {
+    const json::value v = x;
+    const double back = json::parse(v.dump(0)).as_number();
+    EXPECT_EQ(back, x) << v.dump(0);
+  }
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(json::value(std::nan("")).dump(0), "null");
+  EXPECT_EQ(json::value(std::numeric_limits<double>::infinity()).dump(0),
+            "null");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const auto v = json::parse(R"("aé€")");  // é and €
+  EXPECT_EQ(v.as_string(), "a\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), json::error);
+  EXPECT_THROW((void)json::parse("{"), json::error);
+  EXPECT_THROW((void)json::parse("[1,]"), json::error);
+  EXPECT_THROW((void)json::parse("{\"a\" 1}"), json::error);
+  EXPECT_THROW((void)json::parse("\"unterminated"), json::error);
+  EXPECT_THROW((void)json::parse("tru"), json::error);
+  EXPECT_THROW((void)json::parse("1e"), json::error);
+  EXPECT_THROW((void)json::parse("1 trailing"), json::error);
+  // Depth bomb: deeper than the parser's max_depth must throw, not crash.
+  std::string bomb(200, '[');
+  EXPECT_THROW((void)json::parse(bomb), json::error);
+}
+
+// --- bench_report over the JSON layer ---------------------------------------
+
+TEST(BenchReport, EmitsSchemaVersionedRoundTrippableDocument) {
+  bench_config cfg;
+  cfg.scale = 0.5;
+  bench_report rep("unit_test_artifact", "a test claim", cfg);
+  const double samples[] = {10.0, 12.0, 11.0, 13.0, 9.0};
+  rep.add_series("tput", "GB/s", samples);
+  rep.add_sample("latency", "s", 0.25, /*higher_is_better=*/false);
+  rep.note("extra", json::value{true});
+
+  const json::value doc = json::parse(rep.to_json().dump(2));
+  EXPECT_EQ(doc.at("schema").as_string(), bench_schema);
+  EXPECT_EQ(doc.at("artifact").as_string(), "unit_test_artifact");
+  EXPECT_EQ(doc.at("paper_claim").as_string(), "a test claim");
+  EXPECT_DOUBLE_EQ(doc.at("config").at("scale").as_number(), 0.5);
+
+  const auto& series = doc.at("series").as_array();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].at("name").as_string(), "tput");
+  EXPECT_EQ(series[0].at("direction").as_string(), "higher_is_better");
+  EXPECT_EQ(series[0].at("count").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(series[0].at("median").as_number(), 11.0);
+  EXPECT_DOUBLE_EQ(series[0].at("min").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(series[0].at("max").as_number(), 13.0);
+  EXPECT_EQ(series[1].at("direction").as_string(), "lower_is_better");
+  EXPECT_EQ(doc.at("meta").at("extra").as_bool(), true);
+}
+
+TEST(BenchReport, DefaultPathNamesTheArtifact) {
+  bench_config cfg;
+  bench_report rep("fig_x", "claim", cfg);
+  EXPECT_EQ(rep.default_path(), "BENCH_fig_x.json");
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Telemetry-on tests.  This TU compiles with INPLACE_TELEMETRY=1 (see
+// tests/CMakeLists.txt), so the INPLACE_TELEMETRY_SPAN hooks in the engine
+// headers are live here — the same per-TU opt-in the bench binaries use.
+// Verifies span nesting, the Eq. 37 byte accounting (2*m*n*elem_size moved
+// per transposition), plan records, collector bounds and sink scoping.
+
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/transpose.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace inplace;
+
+static_assert(INPLACE_TELEMETRY_ENABLED == 1,
+              "test_telemetry must build with INPLACE_TELEMETRY");
+
+TEST(Telemetry, StageNamesAreStable) {
+  EXPECT_STREQ(telemetry::stage_name(telemetry::stage::total), "total");
+  EXPECT_STREQ(telemetry::stage_name(telemetry::stage::prerotate),
+               "prerotate");
+  EXPECT_STREQ(telemetry::stage_name(telemetry::stage::row_shuffle),
+               "row_shuffle");
+  EXPECT_STREQ(telemetry::stage_name(telemetry::stage::col_shuffle),
+               "col_shuffle");
+}
+
+TEST(Telemetry, ScopedSinkInstallsAndRestores) {
+  EXPECT_EQ(telemetry::current_sink(), nullptr);
+  {
+    telemetry::collector outer;
+    telemetry::scoped_sink outer_guard(&outer);
+    EXPECT_EQ(telemetry::current_sink(), &outer);
+    {
+      telemetry::collector inner;
+      telemetry::scoped_sink inner_guard(&inner);
+      EXPECT_EQ(telemetry::current_sink(), &inner);
+    }
+    EXPECT_EQ(telemetry::current_sink(), &outer);
+  }
+  EXPECT_EQ(telemetry::current_sink(), nullptr);
+}
+
+TEST(Telemetry, TransposeEmitsNestedStageSpans) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  std::vector<double> a(64 * 48);
+  util::fill_iota(std::span<double>(a));
+  transpose(a.data(), 64, 48);
+
+  const auto spans = coll.raw_spans();
+  ASSERT_FALSE(spans.empty());
+  bool saw_total = false;
+  bool saw_stage = false;
+  for (const auto& s : spans) {
+    if (s.s == telemetry::stage::total) {
+      saw_total = true;
+      EXPECT_EQ(s.depth, 0);
+    } else {
+      saw_stage = true;
+      EXPECT_EQ(s.depth, 1) << telemetry::stage_name(s.s);
+    }
+    EXPECT_GE(s.seconds, 0.0);
+  }
+  EXPECT_TRUE(saw_total);
+  EXPECT_TRUE(saw_stage);
+  EXPECT_EQ(telemetry::span_depth(), 0);  // all spans closed
+}
+
+TEST(Telemetry, TotalSpanCarriesEq37Bytes) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  const std::uint64_t m = 64;
+  const std::uint64_t n = 48;
+  std::vector<double> a(m * n);
+  util::fill_iota(std::span<double>(a));
+  transpose(a.data(), m, n);
+
+  const auto totals = coll.totals();
+  const auto& total =
+      totals[static_cast<std::size_t>(telemetry::stage::total)];
+  EXPECT_EQ(total.calls, 1u);
+  // Eq. 37: a transposition moves every element once — 2*m*n*elem_size
+  // bytes of traffic (one read + one write per element).
+  EXPECT_EQ(total.bytes_moved, 2 * m * n * sizeof(double));
+  // Theorem 6: scratch stays within max(m, n) elements (plus the engines'
+  // constant-size cache-aware buffers, all accounted by the plan).
+  EXPECT_GT(total.scratch_bytes_max, 0u);
+}
+
+TEST(Telemetry, PlanRecordsMatchThePlan) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  transposer<float> tr(500, 500);  // blocked engine (square)
+  std::vector<float> a(500 * 500);
+  util::fill_iota(std::span<float>(a));
+  tr(a.data());
+  tr(a.data());  // repeated runs dedup into one record with count 2
+
+  const auto plans = coll.plan_counts();
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].count, 2u);
+  EXPECT_STREQ(plans[0].rec.engine, engine_name(tr.plan().engine));
+  EXPECT_STREQ(plans[0].rec.direction, direction_name(tr.plan().dir));
+  EXPECT_EQ(plans[0].rec.m, tr.plan().m);
+  EXPECT_EQ(plans[0].rec.n, tr.plan().n);
+  EXPECT_EQ(plans[0].rec.elem_size, sizeof(float));
+  EXPECT_EQ(coll.plans_seen(), 2u);
+  EXPECT_FALSE(coll.plans_truncated());
+}
+
+TEST(Telemetry, CollectorRawCapBoundsMemory) {
+  telemetry::collector coll(/*raw_cap=*/2);
+  telemetry::scoped_sink guard(&coll);
+  std::vector<float> a(32 * 24);
+  for (int k = 0; k < 5; ++k) {
+    util::fill_iota(std::span<float>(a));
+    transpose(a.data(), 32, 24);
+  }
+  EXPECT_EQ(coll.raw_spans().size(), 2u);     // capped
+  EXPECT_GT(coll.spans_seen(), 2u);           // but still counted
+  // The on-the-fly aggregates keep full totals past the cap.
+  const auto totals = coll.totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(telemetry::stage::total)].calls,
+            5u);
+}
+
+TEST(Telemetry, ClearResetsEverything) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  std::vector<float> a(16 * 12);
+  util::fill_iota(std::span<float>(a));
+  transpose(a.data(), 16, 12);
+  EXPECT_GT(coll.spans_seen(), 0u);
+  coll.clear();
+  EXPECT_EQ(coll.spans_seen(), 0u);
+  EXPECT_EQ(coll.plans_seen(), 0u);
+  EXPECT_TRUE(coll.raw_spans().empty());
+}
+
+TEST(Telemetry, NoSinkMeansNoRecords) {
+  ASSERT_EQ(telemetry::current_sink(), nullptr);
+  std::vector<float> a(16 * 12);
+  util::fill_iota(std::span<float>(a));
+  EXPECT_NO_THROW(transpose(a.data(), 16, 12));  // spans open, nobody listens
+  EXPECT_EQ(telemetry::span_depth(), 0);
+}
+
+}  // namespace

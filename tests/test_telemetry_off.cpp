@@ -1,0 +1,71 @@
+// Telemetry-off tests: this TU deliberately does NOT define
+// INPLACE_TELEMETRY, matching how the library, the tests and user code
+// build by default.  The span hooks must compile to nothing — an empty
+// span type and discarded-void macros — and an installed sink must see
+// zero records from uninstrumented engines.
+
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/transpose.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace inplace;
+
+static_assert(INPLACE_TELEMETRY_ENABLED == 0,
+              "test_telemetry_off must build without INPLACE_TELEMETRY");
+
+// The per-TU span alias must degenerate to the empty literal type: proof
+// that instrumented code paths carry no per-call state when off.
+static_assert(sizeof(telemetry::stage_span) == 1,
+              "disabled spans must be empty");
+static_assert(
+    std::is_same_v<telemetry::stage_span, telemetry::disabled_span>,
+    "telemetry-off TUs must alias the disabled span");
+
+TEST(TelemetryOff, SpanMacroExpandsToNothing) {
+  // The macro must be a discarded expression usable as a full statement
+  // anywhere a live span would sit.
+  INPLACE_TELEMETRY_SPAN(span_probe, telemetry::stage::total, 128, 0);
+  SUCCEED();
+}
+
+TEST(TelemetryOff, UninstrumentedTransposeRecordsNothing) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  std::vector<double> a(64 * 48);
+  util::fill_iota(std::span<double>(a));
+  transpose(a.data(), 64, 48);
+  transposer<double> tr(48, 64);
+  tr(a.data());
+  EXPECT_EQ(coll.spans_seen(), 0u);
+  EXPECT_EQ(coll.plans_seen(), 0u);
+  EXPECT_TRUE(coll.raw_spans().empty());
+  EXPECT_TRUE(coll.plan_counts().empty());
+}
+
+TEST(TelemetryOff, SinkRegistryStillWorks) {
+  // The registry itself is always compiled in (the collector lives in the
+  // library), so tools can install sinks unconditionally.
+  telemetry::collector coll;
+  {
+    telemetry::scoped_sink guard(&coll);
+    EXPECT_EQ(telemetry::current_sink(), &coll);
+    // Hand-fed records still flow: only the *hooks* are compiled out.
+    telemetry::span_record rec;
+    rec.s = telemetry::stage::total;
+    rec.bytes_moved = 64;
+    coll.on_span(rec);
+  }
+  EXPECT_EQ(telemetry::current_sink(), nullptr);
+  EXPECT_EQ(coll.spans_seen(), 1u);
+}
+
+}  // namespace

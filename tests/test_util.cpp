@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -235,6 +237,67 @@ TEST(BenchHarness, SamplesScaleWithFloor) {
   EXPECT_EQ(cfg.samples(100, 4), 4u);
   cfg.scale = 2.0;
   EXPECT_EQ(cfg.samples(100, 4), 200u);
+}
+
+// Regression: flag values were parsed with bare atoi/strtod, so "2.5x"
+// silently became 2.5 and "x" became 0.  The whole token must now be a
+// number or the flag is rejected.
+TEST(BenchHarness, RejectsPartiallyNumericValues) {
+  const char* trailing[] = {"prog", "--scale", "2.5x"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(trailing)),
+               std::runtime_error);
+  const char* alpha[] = {"prog", "--scale", "fast"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(alpha)),
+               std::runtime_error);
+  const char* inf[] = {"prog", "--scale", "inf"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(inf)),
+               std::runtime_error);
+  const char* nan_text[] = {"prog", "--scale", "nan"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(nan_text)),
+               std::runtime_error);
+  const char* frac_threads[] = {"prog", "--threads", "3.5"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(frac_threads)),
+               std::runtime_error);
+  const char* huge_threads[] = {"prog", "--threads",
+                                "99999999999999999999"};
+  EXPECT_THROW((void)parse_bench_args(3, const_cast<char**>(huge_threads)),
+               std::runtime_error);
+}
+
+TEST(BenchHarness, MalformedEnvScaleIsIgnored) {
+  ASSERT_EQ(setenv("INPLACE_BENCH_SCALE", "2.5x", 1), 0);
+  const char* argv[] = {"prog"};
+  const auto cfg = parse_bench_args(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cfg.scale, 1.0);  // fell back instead of reading 2.5
+
+  ASSERT_EQ(setenv("INPLACE_BENCH_SCALE", "0.25", 1), 0);
+  const auto good = parse_bench_args(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(good.scale, 0.25);
+  ASSERT_EQ(unsetenv("INPLACE_BENCH_SCALE"), 0);
+}
+
+// Regression: samples() cast scale * base straight to size_t, which is
+// undefined behaviour once the product leaves the representable range.
+TEST(BenchHarness, SamplesSaturateInsteadOfWrapping) {
+  bench_config cfg;
+  cfg.scale = 1e30;
+  EXPECT_EQ(cfg.samples(100, 4), std::size_t{1} << 53U);
+  cfg.scale = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(cfg.samples(100, 4), 4u);
+  cfg.scale = -1e30;  // not reachable via flags, but must still be defined
+  EXPECT_EQ(cfg.samples(100, 4), 4u);
+}
+
+TEST(BenchHarness, JsonFlags) {
+  const char* with_path[] = {"prog", "--json", "/tmp/out.json"};
+  const auto cfg = parse_bench_args(3, const_cast<char**>(with_path));
+  ASSERT_TRUE(cfg.json_path.has_value());
+  EXPECT_EQ(*cfg.json_path, "/tmp/out.json");
+  EXPECT_TRUE(cfg.emit_json);
+
+  const char* off[] = {"prog", "--no-json"};
+  const auto quiet = parse_bench_args(2, const_cast<char**>(off));
+  EXPECT_FALSE(quiet.emit_json);
 }
 
 // --- timer / throughput -------------------------------------------------------

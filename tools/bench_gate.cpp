@@ -1,0 +1,222 @@
+// Perf-regression gate over two BENCH_*.json reports.
+//
+//   bench_gate BASELINE.json CANDIDATE.json [--threshold F] [--mad-k F]
+//              [--allow-missing]
+//   bench_gate --selftest
+//
+// Exit status: 0 = no regression, 1 = regression (or missing series unless
+// --allow-missing), 2 = usage / unreadable input / incomparable reports.
+// The comparison core lives in util/bench_compare.hpp; --selftest drives it
+// over synthetic reports so the gate's sensitivity is itself testable from
+// ctest without timing anything.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/bench_compare.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace inplace;
+
+util::json::value load_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return util::json::parse(buf.str());
+}
+
+const char* status_name(util::gate_status s) {
+  switch (s) {
+    case util::gate_status::ok: return "ok";
+    case util::gate_status::regressed: return "REGRESSED";
+    case util::gate_status::missing: return "MISSING";
+    case util::gate_status::skipped: return "skipped";
+  }
+  return "?";
+}
+
+void print_result(const util::gate_result& r, const util::gate_options& opt) {
+  std::printf("bench_gate: artifact '%s', %zu series compared "
+              "(threshold %.0f%%, noise band %.1f MADs)\n",
+              r.artifact.c_str(), r.compared, 100.0 * opt.rel_threshold,
+              opt.mad_k);
+  std::printf("  %-36s %-10s %14s %14s %9s %9s\n", "series", "status",
+              "base median", "cand median", "change", "allowed");
+  for (const auto& f : r.findings) {
+    std::printf("  %-36s %-10s %14.4g %14.4g %+8.1f%% %8.1f%%",
+                f.series.c_str(), status_name(f.status), f.base_median,
+                f.cand_median, 100.0 * f.rel_change, 100.0 * f.allowed_drop);
+    if (!f.detail.empty()) {
+      std::printf("   (%s)", f.detail.c_str());
+    }
+    std::printf("\n");
+  }
+  if (r.passed(opt)) {
+    std::printf("bench_gate: PASS\n");
+  } else {
+    std::printf("bench_gate: FAIL (%zu regressed, %zu missing)\n",
+                r.regressed, r.missing);
+  }
+}
+
+// --- selftest ---------------------------------------------------------------
+
+util::json::value make_report(
+    const std::string& artifact,
+    const std::vector<std::tuple<std::string, std::string, double, double>>&
+        series) {
+  util::json::object doc;
+  doc.emplace_back("schema", util::bench_schema);
+  doc.emplace_back("artifact", artifact);
+  util::json::array arr;
+  for (const auto& [name, direction, median, mad] : series) {
+    util::json::object s;
+    s.emplace_back("name", name);
+    s.emplace_back("unit", "GB/s");
+    s.emplace_back("direction", direction);
+    s.emplace_back("count", 9.0);
+    s.emplace_back("median", median);
+    s.emplace_back("mad", mad);
+    arr.emplace_back(std::move(s));
+  }
+  doc.emplace_back("series", std::move(arr));
+  return doc;
+}
+
+int selftest() {
+  const util::gate_options opt;  // defaults: 10% / 4 MADs
+  int failures = 0;
+  const auto expect = [&](bool cond, const char* what) {
+    std::printf("  %-58s %s\n", what, cond ? "ok" : "FAILED");
+    if (!cond) {
+      ++failures;
+    }
+  };
+
+  const auto base = make_report(
+      "selftest", {{"tput", "higher_is_better", 100.0, 1.0},
+                   {"latency", "lower_is_better", 10.0, 0.1}});
+
+  {  // 20% throughput drop must fail
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 80.0, 1.0},
+                     {"latency", "lower_is_better", 10.0, 0.1}});
+    const auto r = util::compare_reports(base, cand, opt);
+    expect(!r.passed(opt) && r.regressed == 1, "20% drop flagged");
+  }
+  {  // 2% wobble must pass
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 98.0, 1.0},
+                     {"latency", "lower_is_better", 10.2, 0.1}});
+    const auto r = util::compare_reports(base, cand, opt);
+    expect(r.passed(opt) && r.regressed == 0, "2% wobble passes");
+  }
+  {  // a 15% drop inside a wide noise band (MAD 5 -> 20% band) must pass
+    const auto noisy = make_report(
+        "selftest", {{"tput", "higher_is_better", 100.0, 5.0}});
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 85.0, 5.0}});
+    const auto r = util::compare_reports(noisy, cand, opt);
+    expect(r.passed(opt), "15% drop within 4-MAD noise band passes");
+  }
+  {  // lower-is-better series regresses upward
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 100.0, 1.0},
+                     {"latency", "lower_is_better", 13.0, 0.1}});
+    const auto r = util::compare_reports(base, cand, opt);
+    expect(!r.passed(opt) && r.regressed == 1,
+           "lower-is-better +30% flagged");
+  }
+  {  // improvement in a lower-is-better series passes
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 100.0, 1.0},
+                     {"latency", "lower_is_better", 7.0, 0.1}});
+    const auto r = util::compare_reports(base, cand, opt);
+    expect(r.passed(opt), "lower-is-better improvement passes");
+  }
+  {  // a series vanishing from the candidate fails (unless allowed)
+    const auto cand = make_report(
+        "selftest", {{"tput", "higher_is_better", 100.0, 1.0}});
+    const auto r = util::compare_reports(base, cand, opt);
+    expect(!r.passed(opt) && r.missing == 1, "missing series flagged");
+    util::gate_options lax = opt;
+    lax.fail_on_missing = false;
+    expect(r.passed(lax), "missing series tolerated with --allow-missing");
+  }
+  {  // identical reports always pass
+    const auto r = util::compare_reports(base, base, opt);
+    expect(r.passed(opt) && r.compared == 2, "identical reports pass");
+  }
+  {  // artifact mismatch is incomparable, not a silent pass
+    const auto other = make_report(
+        "something_else", {{"tput", "higher_is_better", 100.0, 1.0}});
+    bool threw = false;
+    try {
+      (void)util::compare_reports(base, other, opt);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    expect(threw, "artifact mismatch refuses to compare");
+  }
+
+  std::printf("bench_gate --selftest: %s\n",
+              failures == 0 ? "all checks passed" : "FAILURES");
+  return failures == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_gate BASELINE.json CANDIDATE.json [--threshold F]\n"
+      "                  [--mad-k F] [--allow-missing]\n"
+      "       bench_gate --selftest\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  util::gate_options opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--selftest") {
+      return selftest();
+    }
+    if (arg == "--allow-missing") {
+      opt.fail_on_missing = false;
+    } else if (arg == "--threshold" && k + 1 < argc) {
+      opt.rel_threshold = std::stod(argv[++k]);
+    } else if (arg == "--mad-k" && k + 1 < argc) {
+      opt.mad_k = std::stod(argv[++k]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_gate: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    return usage();
+  }
+  try {
+    const auto base = load_report(paths[0]);
+    const auto cand = load_report(paths[1]);
+    const auto result = util::compare_reports(base, cand, opt);
+    print_result(result, opt);
+    return result.passed(opt) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+}

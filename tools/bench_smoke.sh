@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Smoke the observability loop end to end: run one bench binary twice at a
+# tiny scale, then gate the second run against the first.  Two runs of the
+# same build must never trip the gate, so a nonzero exit here means either
+# the JSON emitter or the comparator is broken (or the chosen bench is far
+# noisier than its recorded MAD claims).
+#
+#   bench_smoke.sh <bench-binary> <bench_gate-binary> [scale]
+
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <bench-binary> <bench_gate-binary> [scale]" >&2
+  exit 2
+fi
+
+bench="$1"
+gate="$2"
+scale="${3:-0.05}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bench" --scale "$scale" --json "$tmp/base.json" >/dev/null
+"$bench" --scale "$scale" --json "$tmp/cand.json" >/dev/null
+"$gate" "$tmp/base.json" "$tmp/cand.json"

@@ -6,6 +6,8 @@
 #   tools/verify.sh              # full gate
 #   tools/verify.sh --fast       # tier-1 + permcheck only (no sanitizers)
 #   tools/verify.sh --max 512    # deeper permcheck sweep (default 256)
+#   tools/verify.sh --bench      # also run the perf gate against the
+#                                # committed bench/baselines/ reports
 
 set -euo pipefail
 
@@ -13,13 +15,16 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 permcheck_max=256
 fast=0
+bench=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
+    --bench) bench=1; shift ;;
     --max) permcheck_max="$2"; shift 2 ;;
     --jobs) jobs="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--max N] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench] [--max N] [--jobs N]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -35,5 +40,18 @@ fi
 
 echo "=== permcheck --max $permcheck_max"
 "$repo_root/build/tools/permcheck" --max "$permcheck_max"
+
+if [[ $bench -eq 1 ]]; then
+  echo "=== bench gate: comparator selftest"
+  "$repo_root/build/tools/bench_gate" --selftest
+  echo "=== bench gate: quick-scale run vs committed baseline"
+  bench_tmp="$(mktemp -d)"
+  trap 'rm -rf "$bench_tmp"' EXIT
+  "$repo_root/build/bench/gpu_model_predictions" --scale 0.05 \
+      --json "$bench_tmp/BENCH_gpu_model_predictions.json" >/dev/null
+  "$repo_root/build/tools/bench_gate" \
+      "$repo_root/bench/baselines/BENCH_gpu_model_predictions.json" \
+      "$bench_tmp/BENCH_gpu_model_predictions.json"
+fi
 
 echo "=== verify.sh: all gates green"
