@@ -13,6 +13,7 @@
 #include "core/equations.hpp"
 #include "core/executor.hpp"
 #include "core/fastdiv64.hpp"
+#include "core/transpose.hpp"
 #include "core/permute.hpp"
 #include "core/rotate.hpp"
 #include "simd/register_transpose.hpp"

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/transpose.hpp"
 #include "util/matrix.hpp"
 #include "util/timer.hpp"
 

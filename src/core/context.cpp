@@ -1,0 +1,180 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+
+#include "util/threads.hpp"
+
+namespace inplace {
+
+namespace detail {
+
+std::size_t context_key_hash::operator()(
+    const context_key& k) const noexcept {
+  // FNV-1a over the key fields; the packed byte word keeps the four
+  // enum-ish fields from washing each other out.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(k.rows);
+  mix(k.cols);
+  mix(k.elem_size);
+  mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(
+      k.type_tag)));
+  mix((std::uint64_t{k.mode} << 24) | (std::uint64_t{k.order} << 16) |
+      (std::uint64_t{k.alg} << 8) | std::uint64_t{k.engine});
+  mix(static_cast<std::uint64_t>(k.strength_reduction));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.threads)));
+  mix(k.block_bytes);
+  return static_cast<std::size_t>(h);
+}
+
+context_workers::context_workers(std::size_t count) {
+  threads_.reserve(std::max<std::size_t>(1, count));
+  for (std::size_t k = 0; k < std::max<std::size_t>(1, count); ++k) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+context_workers::~context_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void context_workers::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void context_workers::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and nothing pending
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace detail
+
+transpose_context::transpose_context(const context_options& copts)
+    : max_plans_(std::max<std::size_t>(1, copts.max_plans)),
+      max_arenas_per_plan_(std::max<std::size_t>(1, copts.max_arenas_per_plan)),
+      max_cached_bytes_(copts.max_cached_bytes),
+      worker_count_(copts.workers) {}
+
+transpose_context::~transpose_context() = default;
+
+std::shared_ptr<detail::context_entry> transpose_context::acquire_entry(
+    const detail::context_key& key, bool& hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    hit = true;
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->entry;
+  }
+  hit = false;
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  while (map_.size() >= max_plans_ && !lru_.empty()) {
+    evict_locked(std::prev(lru_.end()));
+  }
+  lru_.push_front({key, std::make_shared<detail::context_entry>()});
+  map_.emplace(key, lru_.begin());
+  return lru_.front().entry;
+}
+
+void transpose_context::evict_locked(lru_iter it) {
+  const std::shared_ptr<detail::context_entry> entry = it->entry;
+  map_.erase(it->key);
+  lru_.erase(it);
+  plan_evictions_.fetch_add(1, std::memory_order_relaxed);
+
+  // Mark the entry dead and release its stored arenas; executions holding
+  // the entry finish on their checked-out arena and then drop it (the
+  // evicted flag blocks recycling into the orphaned entry).
+  std::size_t bytes = 0;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    entry->evicted = true;
+    for (const auto& [arena, b] : entry->arenas) {
+      bytes += b;
+      ++dropped;
+    }
+    entry->arenas.clear();
+  }
+  retained_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  arenas_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+context_stats transpose_context::stats() const {
+  context_stats s;
+  s.executions = executions_.load(std::memory_order_relaxed);
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  s.plan_evictions = plan_evictions_.load(std::memory_order_relaxed);
+  s.arenas_created = arenas_created_.load(std::memory_order_relaxed);
+  s.arenas_reused = arenas_reused_.load(std::memory_order_relaxed);
+  s.arenas_dropped = arenas_dropped_.load(std::memory_order_relaxed);
+  s.async_jobs = async_jobs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t transpose_context::cached_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::size_t transpose_context::cached_bytes() const {
+  return retained_bytes_.load(std::memory_order_relaxed);
+}
+
+void transpose_context::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) {
+    evict_locked(std::prev(lru_.end()));
+  }
+}
+
+detail::context_workers& transpose_context::workers() {
+  std::call_once(workers_once_, [this] {
+    std::size_t count = worker_count_;
+    if (count == 0) {
+      // Small default: enough to overlap planning/allocation with engine
+      // execution without oversubscribing the OpenMP pool badly.
+      count = std::clamp<std::size_t>(
+          static_cast<std::size_t>(util::hardware_threads()), 2, 4);
+    }
+    workers_ = std::make_unique<detail::context_workers>(count);
+  });
+  return *workers_;
+}
+
+transpose_context& default_context() {
+  // Intentionally leaked: worker threads and cached arenas must outlive
+  // any static-destruction-order transposes, and the OS reclaims the
+  // memory anyway.
+  static auto* ctx = new transpose_context();
+  return *ctx;
+}
+
+}  // namespace inplace

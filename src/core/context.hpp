@@ -1,0 +1,399 @@
+#pragma once
+// Reusable execution context: plan/workspace caching with async batched
+// submission.
+//
+// Every one-shot `inplace::transpose` pays the amortizable setup cost on
+// the hot path — planning, a fresh scratch arena (threads x O(max(m, n))
+// elements for the blocked engine), the strength-reduced reciprocals, and
+// row-permutation cycle discovery.  `transpose_context` amortizes all of
+// it across calls:
+//
+//   * an LRU plan cache keyed by (rows, cols, elem_size, element type,
+//     entry point/order, and every planning-relevant option), bounded by
+//     context_options::max_plans;
+//   * per-plan reusable arenas — `transposer<T>` instances holding the
+//     resolved plan, the index math, the workspace pool and the memoized
+//     cycle leaders — checked out exclusively per execution, so the warm
+//     path performs zero allocations and zero cycle re-discovery;
+//   * an async submission API: `submit()` returns a std::future<void>,
+//     `transpose_batch()` runs a span of jobs over one shared worker pool
+//     with per-job error capture.
+//
+// The free functions in core/transpose.hpp route through a process-wide
+// `default_context()`, so plain `transpose(data, m, n)` callers get warm
+// plan reuse without managing a context.  All entry points are
+// thread-safe; concurrent same-shape calls each receive their own arena.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/executor.hpp"
+
+namespace inplace {
+
+/// Sizing knobs for a transpose_context.
+struct context_options {
+  /// Distinct cached plans (LRU beyond this).  Clamped to at least 1.
+  std::size_t max_plans = 16;
+
+  /// Arenas kept per plan.  Concurrent same-shape executions past this
+  /// count still run (with a transient arena); only recycling is bounded.
+  std::size_t max_arenas_per_plan = 4;
+
+  /// Total bytes of scratch the context may pin across all cached arenas
+  /// (approximate; Theorem 6 scratch plus memoized cycle leaders).  An
+  /// arena whose return would exceed the budget is dropped instead of
+  /// recycled.
+  std::size_t max_cached_bytes = std::size_t{256} << 20;
+
+  /// Worker threads for submit()/transpose_batch(); 0 picks a small
+  /// default.  Workers start lazily on the first async call — a context
+  /// used synchronously never spawns threads.
+  std::size_t workers = 0;
+};
+
+/// Monotonic counters describing a context's cache behavior.
+struct context_stats {
+  std::uint64_t executions = 0;      ///< transposes run through the context
+  std::uint64_t plan_hits = 0;       ///< key already cached
+  std::uint64_t plan_misses = 0;     ///< key planned fresh
+  std::uint64_t plan_evictions = 0;  ///< LRU entries dropped
+  std::uint64_t arenas_created = 0;  ///< transposer arenas allocated
+  std::uint64_t arenas_reused = 0;   ///< warm checkouts (no allocation)
+  std::uint64_t arenas_dropped = 0;  ///< not recycled (cap or exception)
+  std::uint64_t async_jobs = 0;      ///< submit()/batch jobs enqueued
+};
+
+/// One matrix in a transpose_batch() call.
+template <typename T>
+struct transpose_job {
+  T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  storage_order order = storage_order::row_major;
+  options opts{};
+};
+
+/// Per-job outcome of transpose_batch(): errors[k] is the exception (if
+/// any) job k threw; the batch always runs every job.
+struct batch_result {
+  std::vector<std::exception_ptr> errors;
+  std::size_t failed = 0;
+
+  [[nodiscard]] bool ok() const { return failed == 0; }
+
+  /// Rethrows the first captured error, if any.
+  void rethrow_first() const {
+    for (const auto& e : errors) {
+      if (e) {
+        std::rethrow_exception(e);
+      }
+    }
+  }
+};
+
+namespace detail {
+
+/// Identity of one cached (plan, arena family): the shape, the element
+/// type, the entry point, and every option the planner reads.  Two keys
+/// comparing equal guarantee the cached transposer<T> is exactly the one
+/// the call would have built.
+struct context_key {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::size_t elem_size = 0;
+  const void* type_tag = nullptr;  ///< &context_type_tag<T>
+  std::uint8_t mode = 0;           ///< 0 transpose, 1 c2r, 2 r2c
+  std::uint8_t order = 0;          ///< storage_order (transpose mode only)
+  std::uint8_t alg = 0;            ///< options::algorithm
+  std::uint8_t engine = 0;         ///< engine_kind
+  bool strength_reduction = true;
+  int threads = 0;
+  std::size_t block_bytes = 0;
+
+  friend bool operator==(const context_key&, const context_key&) = default;
+};
+
+struct context_key_hash {
+  std::size_t operator()(const context_key& k) const noexcept;
+};
+
+/// One inline variable per element type: its address is the program-wide
+/// unique type tag for context keys (elem_size alone cannot distinguish
+/// float from int32_t, whose workspaces are distinct template types).
+template <typename T>
+inline constexpr char context_type_tag = 0;
+
+/// One plan-cache slot: a lock-protected free list of type-erased arenas
+/// (transposer<T> instances — the key's type_tag pins T) plus their
+/// approximate retained bytes.
+struct context_entry {
+  std::mutex mu;
+  bool evicted = false;  ///< set at eviction; blocks further recycling
+  std::vector<std::pair<std::shared_ptr<void>, std::size_t>> arenas;
+};
+
+/// FIFO worker pool backing submit()/transpose_batch().  Started lazily
+/// by the owning context; joined on destruction after draining nothing —
+/// pending tasks still run before the workers exit.
+class context_workers {
+ public:
+  explicit context_workers(std::size_t count);
+  ~context_workers();
+  context_workers(const context_workers&) = delete;
+  context_workers& operator=(const context_workers&) = delete;
+
+  void enqueue(std::function<void()> fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace detail
+
+/// Thread-safe reusable execution context (see the header comment).
+class transpose_context {
+ public:
+  explicit transpose_context(const context_options& copts = {});
+  ~transpose_context();
+  transpose_context(const transpose_context&) = delete;
+  transpose_context& operator=(const transpose_context&) = delete;
+
+  /// Equivalent to inplace::transpose(data, rows, cols, order, opts),
+  /// with plan/arena reuse across same-shape calls.
+  template <typename T>
+  void transpose(T* data, std::size_t rows, std::size_t cols,
+                 storage_order order = storage_order::row_major,
+                 const options& opts = {}) {
+    run(data, rows, cols, static_cast<std::uint8_t>(order), opts,
+        mode_transpose);
+  }
+
+  /// The raw C2R permutation of an m x n row-major view (cached).
+  template <typename T>
+  void c2r(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
+    run(data, m, n, /*order_tag=*/0, opts, mode_c2r);
+  }
+
+  /// The raw R2C permutation — the inverse of c2r (cached).
+  template <typename T>
+  void r2c(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
+    run(data, m, n, /*order_tag=*/0, opts, mode_r2c);
+  }
+
+  /// Asynchronous transpose: enqueues the job on the context's worker
+  /// pool and returns a future that completes (or carries the exception)
+  /// when the transposition finishes.  The buffer must stay alive and
+  /// unaliased until then.
+  template <typename T>
+  [[nodiscard]] std::future<void> submit(
+      T* data, std::size_t rows, std::size_t cols,
+      storage_order order = storage_order::row_major,
+      const options& opts = {}) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        [this, data, rows, cols, order, opts] {
+          this->transpose(data, rows, cols, order, opts);
+        });
+    std::future<void> fut = task->get_future();
+    async_jobs_.fetch_add(1, std::memory_order_relaxed);
+    workers().enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs every job over the shared worker pool, blocking until all
+  /// complete.  Failures are captured per job (never thrown): jobs after
+  /// a failing one still run.
+  template <typename T>
+  batch_result transpose_batch(std::span<const transpose_job<T>> jobs) {
+    batch_result res;
+    res.errors.assign(jobs.size(), std::exception_ptr{});
+    std::vector<std::future<void>> futs;
+    futs.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      futs.push_back(submit(job.data, job.rows, job.cols, job.order,
+                            job.opts));
+    }
+    for (std::size_t k = 0; k < futs.size(); ++k) {
+      try {
+        futs[k].get();
+      } catch (...) {
+        res.errors[k] = std::current_exception();
+        ++res.failed;
+      }
+    }
+    return res;
+  }
+
+  /// Snapshot of the cache counters.
+  [[nodiscard]] context_stats stats() const;
+
+  /// Currently cached plan count / approximate pinned arena bytes.
+  [[nodiscard]] std::size_t cached_plans() const;
+  [[nodiscard]] std::size_t cached_bytes() const;
+
+  /// Drops every cached plan and arena (in-flight executions finish on
+  /// the arenas they hold).  Counters are not reset.
+  void clear();
+
+ private:
+  static constexpr std::uint8_t mode_transpose = 0;
+  static constexpr std::uint8_t mode_c2r = 1;
+  static constexpr std::uint8_t mode_r2c = 2;
+
+  struct lru_node {
+    detail::context_key key;
+    std::shared_ptr<detail::context_entry> entry;
+  };
+  using lru_iter = std::list<lru_node>::iterator;
+
+  /// Finds (LRU-touching) or inserts the entry for `key`, evicting past
+  /// max_plans.  Sets `hit` iff the key was already cached.
+  std::shared_ptr<detail::context_entry> acquire_entry(
+      const detail::context_key& key, bool& hit);
+
+  /// Drops one LRU node and its stored arenas (mu_ must be held).
+  void evict_locked(lru_iter it);
+
+  /// Lazily started worker pool for the async entry points.
+  detail::context_workers& workers();
+
+  template <typename T>
+  void run(T* data, std::size_t rows, std::size_t cols,
+           std::uint8_t order_tag, const options& opts, std::uint8_t mode) {
+    detail::checked_extent(data, rows, cols);
+
+    detail::context_key key;
+    key.rows = rows;
+    key.cols = cols;
+    key.elem_size = sizeof(T);
+    key.type_tag = &detail::context_type_tag<T>;
+    key.mode = mode;
+    key.order = order_tag;
+    key.alg = static_cast<std::uint8_t>(opts.alg);
+    key.engine = static_cast<std::uint8_t>(opts.engine);
+    key.strength_reduction = opts.strength_reduction;
+    key.threads = opts.threads;
+    key.block_bytes = opts.block_bytes;
+
+    bool hit = false;
+    std::shared_ptr<detail::context_entry> entry = acquire_entry(key, hit);
+
+    // Check out an arena; `warm` means this execution skips allocation
+    // and cycle discovery entirely.
+    std::shared_ptr<void> arena;
+    std::size_t arena_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (!entry->arenas.empty()) {
+        arena = std::move(entry->arenas.back().first);
+        arena_bytes = entry->arenas.back().second;
+        entry->arenas.pop_back();
+      }
+    }
+    const bool warm = arena != nullptr;
+    if (warm) {
+      retained_bytes_.fetch_sub(arena_bytes, std::memory_order_relaxed);
+      arenas_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const transpose_plan plan =
+          mode == mode_transpose
+              ? make_plan(data, rows, cols,
+                          static_cast<storage_order>(order_tag), opts,
+                          sizeof(T))
+              : make_directed_plan(
+                    data, rows, cols,
+                    mode == mode_c2r ? direction::c2r : direction::r2c, opts,
+                    sizeof(T));
+      arena = std::shared_ptr<void>(new transposer<T>(plan), [](void* p) {
+        delete static_cast<transposer<T>*>(p);
+      });
+      arenas_created_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto* tr = static_cast<transposer<T>*>(arena.get());
+
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      tr->execute(data, /*from_cache=*/warm);
+    } catch (...) {
+      // The arena's memo/scratch state may be mid-update — drop it rather
+      // than recycle a possibly inconsistent warm path.
+      arenas_dropped_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+
+    // Recycle within the per-plan and total-bytes budgets.
+    const std::size_t bytes = tr->cached_bytes();
+    bool recycled = false;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (!entry->evicted && entry->arenas.size() < max_arenas_per_plan_ &&
+          retained_bytes_.load(std::memory_order_relaxed) + bytes <=
+              max_cached_bytes_) {
+        entry->arenas.emplace_back(std::move(arena), bytes);
+        recycled = true;
+      }
+    }
+    if (recycled) {
+      retained_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      arenas_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t max_plans_;
+  std::size_t max_arenas_per_plan_;
+  std::size_t max_cached_bytes_;
+  std::size_t worker_count_;
+
+  mutable std::mutex mu_;  ///< guards lru_/map_
+  std::list<lru_node> lru_;
+  std::unordered_map<detail::context_key, lru_iter, detail::context_key_hash>
+      map_;
+
+  std::atomic<std::size_t> retained_bytes_{0};
+  std::atomic<std::uint64_t> executions_{0};
+  std::atomic<std::uint64_t> plan_hits_{0};
+  std::atomic<std::uint64_t> plan_misses_{0};
+  std::atomic<std::uint64_t> plan_evictions_{0};
+  std::atomic<std::uint64_t> arenas_created_{0};
+  std::atomic<std::uint64_t> arenas_reused_{0};
+  std::atomic<std::uint64_t> arenas_dropped_{0};
+  std::atomic<std::uint64_t> async_jobs_{0};
+
+  std::once_flag workers_once_;
+  std::unique_ptr<detail::context_workers> workers_;
+};
+
+/// The process-wide context the free functions in core/transpose.hpp
+/// execute through.  Shared by all threads; never destroyed before other
+/// statics that might transpose during teardown.
+transpose_context& default_context();
+
+/// transpose_batch over the default context.
+template <typename T>
+batch_result transpose_batch(std::span<const transpose_job<T>> jobs) {
+  return default_context().transpose_batch(jobs);
+}
+
+}  // namespace inplace

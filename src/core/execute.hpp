@@ -1,0 +1,126 @@
+#pragma once
+// Plan execution internals shared by the public entry points: the free
+// functions (core/transpose.hpp, routed through core/context.hpp), the
+// plan-reusing transposer (core/executor.hpp) and the context's cached
+// entries.  Split out of transpose.hpp so context.hpp can reuse the
+// machinery without a circular include.
+
+#include <cstddef>
+
+#include "core/contracts.hpp"
+#include "core/equations.hpp"
+#include "core/errors.hpp"
+#include "core/layout.hpp"
+#include "core/plan.hpp"
+#include "core/telemetry.hpp"
+#include "cpu/engine_blocked.hpp"
+#include "cpu/engine_reference.hpp"
+#include "cpu/skinny.hpp"
+#include "util/threads.hpp"
+
+namespace inplace::detail {
+
+/// Emits one telemetry plan record for an execution about to run.
+/// Compiles to an empty function unless the translation unit defines
+/// INPLACE_TELEMETRY.  `from_cache` marks transpose_context cache hits so
+/// warm and cold executions separate in the collector's dedup table.
+template <typename T>
+inline void note_plan_record([[maybe_unused]] const transpose_plan& plan,
+                             [[maybe_unused]] bool from_cache = false) {
+#if INPLACE_TELEMETRY_ENABLED
+  if (telemetry::current_sink() != nullptr) {
+    // Predict the pool this plan's request would get WITHOUT touching the
+    // OpenMP runtime.  The old probe constructed a thread_count_guard,
+    // whose omp_set_num_threads mutates global state: two concurrent
+    // telemetry-enabled transposes raced, and one could observe (or run
+    // its parallel region with) the other's probe value.
+    const util::thread_probe probe = util::probe_thread_count(plan.threads);
+    telemetry::plan_record rec;
+    rec.engine = engine_name(plan.engine);
+    rec.direction = direction_name(plan.dir);
+    rec.m = plan.m;
+    rec.n = plan.n;
+    rec.block_width = plan.block_width;
+    rec.elem_size = sizeof(T);
+    rec.strength_reduction = plan.strength_reduction;
+    rec.threads_requested = probe.requested;
+    rec.threads_active = probe.active;
+    rec.threads_honored = probe.honored;
+    rec.from_cache = from_cache;
+    INPLACE_TELEMETRY_PLAN(rec);
+  }
+#endif
+}
+
+template <typename T, typename Math>
+void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
+  INPLACE_REQUIRE(mm.m == plan.m && mm.n == plan.n,
+                  "index math shape does not match the plan");
+  switch (plan.engine) {
+    case engine_kind::reference: {
+      workspace<T> ws;
+      ws.reserve(mm.m, mm.n, plan.block_width);
+      if (plan.dir == direction::c2r) {
+        c2r_reference(data, mm, ws);
+      } else {
+        r2c_reference(data, mm, ws);
+      }
+      break;
+    }
+    case engine_kind::skinny: {
+      workspace<T> ws;
+      reserve_skinny(ws, mm.m, mm.n);
+      if (plan.dir == direction::c2r) {
+        c2r_skinny(data, mm, ws);
+      } else {
+        r2c_skinny(data, mm, ws);
+      }
+      break;
+    }
+    case engine_kind::blocked:
+      if (plan.dir == direction::c2r) {
+        c2r_blocked(data, mm, plan);
+      } else {
+        r2c_blocked(data, mm, plan);
+      }
+      break;
+    case engine_kind::automatic:
+      // make_plan/make_directed_plan guarantee a concrete engine (plan
+      // postcondition); an unresolved plan here is forged or corrupted.
+      // Fail loudly instead of silently picking an engine.
+      INPLACE_CHECK(false,
+                    "unresolved engine_kind::automatic reached the executor");
+      throw error(
+          "inplace: plan with unresolved engine_kind::automatic reached "
+          "the executor (plans must come from make_plan/make_directed_"
+          "plan/make_plan_for_shape)");
+  }
+}
+
+/// One-shot (uncached) execution: builds fresh workspaces, runs, frees.
+template <typename T>
+void execute_plan(T* data, const transpose_plan& plan) {
+  // Degenerate shapes: a 1 x n or m x 1 matrix transposes to the identical
+  // buffer, and the permutation equations degenerate with it.  Still a
+  // real execution, though — record the plan and the total span so bench
+  // JSON does not silently undercount 1 x n / m x 1 calls.
+  if (plan.m <= 1 || plan.n <= 1) {
+    note_plan_record<T>(plan);
+    INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                           2 * plan.m * plan.n * sizeof(T), 0);
+    return;
+  }
+  note_plan_record<T>(plan);
+  INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                         2 * plan.m * plan.n * sizeof(T),
+                         plan.scratch_elements() * sizeof(T));
+  if (plan.strength_reduction) {
+    const transpose_math<fast_divmod> mm(plan.m, plan.n);
+    run_with_math(data, mm, plan);
+  } else {
+    const transpose_math<plain_divmod> mm(plan.m, plan.n);
+    run_with_math(data, mm, plan);
+  }
+}
+
+}  // namespace inplace::detail

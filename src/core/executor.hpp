@@ -12,11 +12,16 @@
 #include <optional>
 
 #include "core/contracts.hpp"
-#include "core/transpose.hpp"
+#include "core/execute.hpp"
 
 namespace inplace {
 
 /// Reusable in-place transposition executor for one fixed shape.
+///
+/// Not thread-safe: one transposer instance must not execute on two
+/// threads at once (the workspaces and cycle memos are exclusive to one
+/// execution).  transpose_context hands out distinct instances to
+/// concurrent callers.
 template <typename T>
 class transposer {
  public:
@@ -24,7 +29,13 @@ class transposer {
   transposer(std::size_t rows, std::size_t cols,
              storage_order order = storage_order::row_major,
              const options& opts = {})
-      : plan_(make_plan_for_shape(rows, cols, order, opts, sizeof(T))) {
+      : transposer(make_plan_for_shape(rows, cols, order, opts, sizeof(T))) {}
+
+  /// Adopts an already-resolved plan (transpose_context caches the plan
+  /// per shape and constructs arenas from it directly, skipping repeated
+  /// planning).  The plan must come from make_plan/make_directed_plan/
+  /// make_plan_for_shape — the executor refuses unresolved engines.
+  explicit transposer(const transpose_plan& plan) : plan_(plan) {
     if (plan_.m > 1 && plan_.n > 1) {
       if (plan_.strength_reduction) {
         fast_math_.emplace(plan_.m, plan_.n);
@@ -47,20 +58,49 @@ class transposer {
   [[nodiscard]] const transpose_plan& plan() const { return plan_; }
 
   /// Transposes one matrix in place.  `data` must have the planned shape.
-  void operator()(T* data) {
+  void operator()(T* data) { execute(data, /*from_cache=*/false); }
+
+  /// operator() with an explicit telemetry provenance flag:
+  /// transpose_context passes from_cache=true when this arena was reused
+  /// from its cache, so warm and cold executions separate in the
+  /// collector's plan dedup table.
+  void execute(T* data, bool from_cache) {
     if (plan_.m <= 1 || plan_.n <= 1) {
+      // Degenerate shapes transpose to the identical buffer, but they are
+      // still executions — record the plan and the total span so bench
+      // JSON does not silently undercount 1 x n / m x 1 calls.
+      detail::note_plan_record<T>(plan_, from_cache);
+      INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                             2 * plan_.m * plan_.n * sizeof(T), 0);
       return;
     }
     if (fast_math_) {
-      run(data, *fast_math_);
+      run(data, *fast_math_, from_cache);
     } else {
-      run(data, *plain_math_);
+      run(data, *plain_math_, from_cache);
     }
+  }
+
+  /// Approximate bytes retained by this executor's cached state (scratch
+  /// arenas plus memoized cycle leaders).  transpose_context uses it to
+  /// bound the total memory its arena cache pins.
+  [[nodiscard]] std::size_t cached_bytes() const {
+    const auto per_ws =
+        static_cast<std::size_t>(plan_.scratch_elements()) * sizeof(T);
+    std::size_t total = per_ws;
+    if (pool_) {
+      total = per_ws * std::max<std::size_t>(1, pool_->size());
+    }
+    total += memo_.starts.capacity() * sizeof(std::uint64_t);
+    for (const auto& g : col_memo_.groups) {
+      total += g.capacity() * sizeof(std::uint64_t);
+    }
+    return total;
   }
 
  private:
   template <typename Math>
-  void run(T* data, const Math& mm) {
+  void run(T* data, const Math& mm, bool from_cache) {
     INPLACE_REQUIRE(data != nullptr, "transposer invoked with null data");
     // The precomputed index math and scratch must match the plan they were
     // sized for; a mismatch here means the executor state was corrupted.
@@ -70,7 +110,7 @@ class transposer {
                       ws_->line.size() >= std::max(plan_.m, plan_.n),
                   "workspace line smaller than max(m, n) — Theorem 6's "
                   "scratch bound");
-    detail::note_plan_record<T>(plan_);
+    detail::note_plan_record<T>(plan_, from_cache);
     INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
                            2 * plan_.m * plan_.n * sizeof(T),
                            plan_.scratch_elements() * sizeof(T));
@@ -83,17 +123,20 @@ class transposer {
         }
         break;
       case engine_kind::skinny:
+        // The cycle memo makes the second and later executions skip the
+        // row-permutation cycle discovery entirely (the cycles depend only
+        // on the plan's shape and direction, which are fixed here).
         if (plan_.dir == direction::c2r) {
-          detail::c2r_skinny(data, mm, *ws_);
+          detail::c2r_skinny(data, mm, *ws_, &memo_);
         } else {
-          detail::r2c_skinny(data, mm, *ws_);
+          detail::r2c_skinny(data, mm, *ws_, &memo_);
         }
         break;
       case engine_kind::blocked:
         if (plan_.dir == direction::c2r) {
-          detail::c2r_blocked(data, mm, plan_, *pool_);
+          detail::c2r_blocked(data, mm, plan_, *pool_, &col_memo_);
         } else {
-          detail::r2c_blocked(data, mm, plan_, *pool_);
+          detail::r2c_blocked(data, mm, plan_, *pool_, &col_memo_);
         }
         break;
       case engine_kind::automatic:
@@ -114,6 +157,8 @@ class transposer {
   std::optional<transpose_math<plain_divmod>> plain_math_;
   std::optional<detail::workspace<T>> ws_;
   std::optional<detail::workspace_pool<T>> pool_;
+  detail::cycle_memo memo_;          ///< skinny row-permutation cycles
+  detail::col_cycle_memo col_memo_;  ///< blocked column-shuffle cycles
 };
 
 /// Transposes `batch` contiguous, equally shaped rows x cols matrices in

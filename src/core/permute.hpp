@@ -87,6 +87,23 @@ struct workspace {
   }
 };
 
+/// Memoized cycle-leader list for a row permutation that is replayed
+/// across executions of one cached plan (transpose_context / transposer
+/// warm path).  Valid for exactly one permutation — one (m, n, direction)
+/// tuple — so it lives next to the arena that discovered it.
+struct cycle_memo {
+  std::vector<std::uint64_t> starts;
+  bool ready = false;
+};
+
+/// Per-column-group memoized cycle structure for the fused column shuffles
+/// (engine_blocked): groups[g] holds the cycle leaders of group g's
+/// group-local permutation.  Valid for one (m, n, width, direction) tuple.
+struct col_cycle_memo {
+  std::vector<std::vector<std::uint64_t>> groups;
+  bool ready = false;
+};
+
 /// tmp[j] = row[idx(j)] for j in [0, n), then copy tmp back over the row.
 /// Checked mode proves idx is a bijection on [0, n): n in-range gathers
 /// without a duplicate source read every slot exactly once.

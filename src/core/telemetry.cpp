@@ -20,7 +20,8 @@ bool same_plan(const plan_record& a, const plan_record& b) {
          a.strength_reduction == b.strength_reduction &&
          a.threads_requested == b.threads_requested &&
          a.threads_active == b.threads_active &&
-         a.threads_honored == b.threads_honored;
+         a.threads_honored == b.threads_honored &&
+         a.from_cache == b.from_cache;
 }
 
 }  // namespace

@@ -76,9 +76,12 @@ struct plan_record {
   std::uint64_t block_width = 0;
   std::size_t elem_size = 0;
   bool strength_reduction = true;
-  int threads_requested = 0;  ///< thread_count_guard::requested()
-  int threads_active = 0;     ///< thread_count_guard::active()
+  int threads_requested = 0;  ///< util::thread_probe::requested
+  int threads_active = 0;     ///< util::thread_probe::active
   bool threads_honored = true;
+  /// True when the execution reused a transpose_context cached plan (so
+  /// warm/cold traffic separates cleanly in the dedup table).
+  bool from_cache = false;
 };
 
 /// Receiver for telemetry events.  Implementations must tolerate calls

@@ -13,116 +13,20 @@
 //
 // All entry points run in O(mn) work with O(max(m, n)) auxiliary space
 // (Theorem 6) and are parallelized with OpenMP when available.
+//
+// The free functions execute through the process-wide default_context()
+// (core/context.hpp): repeated same-shape calls reuse the cached plan,
+// scratch arenas and memoized permutation cycles instead of rebuilding
+// them per call.  Construct a dedicated transpose_context (or a
+// transposer<T>, core/executor.hpp) for isolated caching, async
+// submission, or batch execution.  detail::execute_plan — the uncached
+// one-shot path — lives in core/execute.hpp.
 
 #include <cstddef>
 
-#include "core/contracts.hpp"
-#include "core/equations.hpp"
-#include "core/errors.hpp"
-#include "core/layout.hpp"
-#include "core/plan.hpp"
-#include "core/telemetry.hpp"
-#include "cpu/engine_blocked.hpp"
-#include "cpu/engine_reference.hpp"
-#include "cpu/skinny.hpp"
-#include "util/threads.hpp"
+#include "core/context.hpp"
 
 namespace inplace {
-
-namespace detail {
-
-/// Emits one telemetry plan record for an execution about to run.
-/// Compiles to an empty function unless the translation unit defines
-/// INPLACE_TELEMETRY.
-template <typename T>
-inline void note_plan_record([[maybe_unused]] const transpose_plan& plan) {
-#if INPLACE_TELEMETRY_ENABLED
-  if (telemetry::current_sink() != nullptr) {
-    // A short-lived guard probes what thread pool this plan's request
-    // would actually get (thread_count_guard restores on destruction).
-    util::thread_count_guard probe(plan.threads);
-    telemetry::plan_record rec;
-    rec.engine = engine_name(plan.engine);
-    rec.direction = direction_name(plan.dir);
-    rec.m = plan.m;
-    rec.n = plan.n;
-    rec.block_width = plan.block_width;
-    rec.elem_size = sizeof(T);
-    rec.strength_reduction = plan.strength_reduction;
-    rec.threads_requested = probe.requested();
-    rec.threads_active = probe.active();
-    rec.threads_honored = probe.honored();
-    INPLACE_TELEMETRY_PLAN(rec);
-  }
-#endif
-}
-
-template <typename T, typename Math>
-void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
-  INPLACE_REQUIRE(mm.m == plan.m && mm.n == plan.n,
-                  "index math shape does not match the plan");
-  switch (plan.engine) {
-    case engine_kind::reference: {
-      workspace<T> ws;
-      ws.reserve(mm.m, mm.n, plan.block_width);
-      if (plan.dir == direction::c2r) {
-        c2r_reference(data, mm, ws);
-      } else {
-        r2c_reference(data, mm, ws);
-      }
-      break;
-    }
-    case engine_kind::skinny: {
-      workspace<T> ws;
-      reserve_skinny(ws, mm.m, mm.n);
-      if (plan.dir == direction::c2r) {
-        c2r_skinny(data, mm, ws);
-      } else {
-        r2c_skinny(data, mm, ws);
-      }
-      break;
-    }
-    case engine_kind::blocked:
-      if (plan.dir == direction::c2r) {
-        c2r_blocked(data, mm, plan);
-      } else {
-        r2c_blocked(data, mm, plan);
-      }
-      break;
-    case engine_kind::automatic:
-      // make_plan/make_directed_plan guarantee a concrete engine (plan
-      // postcondition); an unresolved plan here is forged or corrupted.
-      // Fail loudly instead of silently picking an engine.
-      INPLACE_CHECK(false,
-                    "unresolved engine_kind::automatic reached the executor");
-      throw error(
-          "inplace: plan with unresolved engine_kind::automatic reached "
-          "the executor (plans must come from make_plan/make_directed_"
-          "plan/make_plan_for_shape)");
-  }
-}
-
-template <typename T>
-void execute_plan(T* data, const transpose_plan& plan) {
-  // Degenerate shapes: a 1 x n or m x 1 matrix transposes to the identical
-  // buffer, and the permutation equations degenerate with it.
-  if (plan.m <= 1 || plan.n <= 1) {
-    return;
-  }
-  note_plan_record<T>(plan);
-  INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
-                         2 * plan.m * plan.n * sizeof(T),
-                         plan.scratch_elements() * sizeof(T));
-  if (plan.strength_reduction) {
-    const transpose_math<fast_divmod> mm(plan.m, plan.n);
-    run_with_math(data, mm, plan);
-  } else {
-    const transpose_math<plain_divmod> mm(plan.m, plan.n);
-    run_with_math(data, mm, plan);
-  }
-}
-
-}  // namespace detail
 
 /// Transposes a rows x cols matrix in place.  For row-major storage the
 /// buffer afterwards holds the row-major cols x rows transpose; for
@@ -131,9 +35,7 @@ template <typename T>
 void transpose(T* data, std::size_t rows, std::size_t cols,
                storage_order order = storage_order::row_major,
                const options& opts = {}) {
-  const transpose_plan plan =
-      make_plan(data, rows, cols, order, opts, sizeof(T));
-  detail::execute_plan(data, plan);
+  default_context().transpose(data, rows, cols, order, opts);
 }
 
 /// The raw C2R permutation of an m x n row-major view (Figure 1, left to
@@ -141,9 +43,7 @@ void transpose(T* data, std::size_t rows, std::size_t cols,
 /// the buffer is the row-major n x m transpose.
 template <typename T>
 void c2r(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
-  const transpose_plan plan =
-      make_directed_plan(data, m, n, direction::c2r, opts, sizeof(T));
-  detail::execute_plan(data, plan);
+  default_context().c2r(data, m, n, opts);
 }
 
 /// The raw R2C permutation of an m x n row-major view — the inverse of
@@ -151,9 +51,7 @@ void c2r(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
 /// row-major m x n matrix.
 template <typename T>
 void r2c(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
-  const transpose_plan plan =
-      make_directed_plan(data, m, n, direction::r2c, opts, sizeof(T));
-  detail::execute_plan(data, plan);
+  default_context().r2c(data, m, n, opts);
 }
 
 }  // namespace inplace

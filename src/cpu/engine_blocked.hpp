@@ -31,23 +31,36 @@ namespace inplace::detail {
 template <typename T>
 class workspace_pool {
  public:
-  /// threads_hint must cover any thread count a later
-  /// thread_count_guard may raise the OpenMP pool to; undersizing would
-  /// make two threads share a workspace.
+  /// Sizes the pool for the current OpenMP pool (or threads_hint if
+  /// larger).  A later thread_count_guard can still raise the pool past
+  /// either — the engines call ensure() after installing their guard so
+  /// the pool always covers the team about to launch.
   workspace_pool(std::uint64_t m, std::uint64_t n, std::uint64_t width,
-                 int threads_hint = 0) {
-    const int count =
-        std::max({util::hardware_threads(), threads_hint, 1});
-    pool_.resize(static_cast<std::size_t>(count));
-    for (auto& ws : pool_) {
-      ws.reserve(m, n, width);
+                 int threads_hint = 0)
+      : m_(m), n_(n), width_(width) {
+    grow(std::max({util::hardware_threads(), threads_hint, 1}));
+  }
+
+  /// Grows the pool to at least `count` workspaces.  Must run outside any
+  /// parallel region that uses the pool (the engines call it between
+  /// installing their thread_count_guard and launching the first loop).
+  void ensure(int count) {
+    if (count > 0 && static_cast<std::size_t>(count) > pool_.size()) {
+      grow(count);
     }
   }
 
+  /// This thread's workspace.  The pool must cover the active team: an
+  /// undersized pool would silently alias one workspace across two
+  /// threads — a data race on the scratch line that corrupts results —
+  /// so checked builds fail loudly instead of wrapping around.
   workspace<T>& local() {
 #if defined(INPLACE_HAVE_OPENMP)
-    return pool_[static_cast<std::size_t>(omp_get_thread_num()) %
-                 pool_.size()];
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    INPLACE_CHECK(tid < pool_.size(),
+                  "workspace_pool undersized for the active parallel "
+                  "region (two threads would alias one workspace)");
+    return pool_[tid % pool_.size()];  // modulo: release-mode bounds safety
 #else
     return pool_.front();
 #endif
@@ -55,7 +68,20 @@ class workspace_pool {
 
   workspace<T>& front() { return pool_.front(); }
 
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
  private:
+  void grow(int count) {
+    const std::size_t old = pool_.size();
+    pool_.resize(static_cast<std::size_t>(count));
+    for (std::size_t k = old; k < pool_.size(); ++k) {
+      pool_[k].reserve(m_, n_, width_);
+    }
+  }
+
+  std::uint64_t m_;
+  std::uint64_t n_;
+  std::uint64_t width_;
   std::vector<workspace<T>> pool_;
 };
 
@@ -187,12 +213,24 @@ void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
 ///      P_g(i) = (q(i) + j0) mod m, moving whole sub-rows —
 /// because s'_j = rot_{j-j0} then P_g as sequential gathers.  Two fewer
 /// element touches per element than the split form.
+/// An optional col_cycle_memo caches each group's cycle leaders across
+/// executions of one plan: the first run discovers them (into the memo
+/// slot instead of the per-thread scratch), every later run replays them
+/// and skips find_cycles entirely.
 template <typename T, typename Math>
 void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
-                     workspace_pool<T>& pool) {
+                     workspace_pool<T>& pool,
+                     col_cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
+  const bool replay = memo != nullptr && memo->ready;
+  if (memo != nullptr && !replay) {
+    memo->groups.assign(static_cast<std::size_t>(groups), {});
+  }
+  INPLACE_CHECK(!replay ||
+                    memo->groups.size() == static_cast<std::size_t>(groups),
+                "col_cycle_memo group count does not match the plan");
 #if defined(INPLACE_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 4)
 #endif
@@ -209,9 +247,20 @@ void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
       const std::uint64_t v = mm.q(i) + shift;
       return v >= m ? v - m : v;
     };
-    find_cycles(m, perm, ws.visited, ws.cycle_starts);
-    permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
-                          ws.subrow.data());
+    if (memo != nullptr) {
+      auto& starts = memo->groups[static_cast<std::size_t>(g)];
+      if (!replay) {
+        find_cycles(m, perm, ws.visited, starts);
+      }
+      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data());
+    } else {
+      find_cycles(m, perm, ws.visited, ws.cycle_starts);
+      permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
+                            ws.subrow.data());
+    }
+  }
+  if (memo != nullptr) {
+    memo->ready = true;
   }
 }
 
@@ -220,10 +269,18 @@ void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
 /// then a fine streaming rotation by (w-1-jj) mod m.
 template <typename T, typename Math>
 void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
-                     workspace_pool<T>& pool) {
+                     workspace_pool<T>& pool,
+                     col_cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
+  const bool replay = memo != nullptr && memo->ready;
+  if (memo != nullptr && !replay) {
+    memo->groups.assign(static_cast<std::size_t>(groups), {});
+  }
+  INPLACE_CHECK(!replay ||
+                    memo->groups.size() == static_cast<std::size_t>(groups),
+                "col_cycle_memo group count does not match the plan");
 #if defined(INPLACE_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 4)
 #endif
@@ -237,24 +294,40 @@ void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
       v %= m;
       return mm.q_inv(v);
     };
-    find_cycles(m, perm, ws.visited, ws.cycle_starts);
-    permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
-                          ws.subrow.data());
+    if (memo != nullptr) {
+      auto& starts = memo->groups[static_cast<std::size_t>(g)];
+      if (!replay) {
+        find_cycles(m, perm, ws.visited, starts);
+      }
+      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data());
+    } else {
+      find_cycles(m, perm, ws.visited, ws.cycle_starts);
+      permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
+                            ws.subrow.data());
+    }
     for (std::uint64_t jj = 0; jj < w; ++jj) {
       ws.offsets[jj] = (w - 1 - jj) % m;
     }
     fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
   }
+  if (memo != nullptr) {
+    memo->ready = true;
+  }
 }
 
 /// Cache-aware, parallel C2R transposition using caller-owned scratch.
+/// An optional col_cycle_memo (owned alongside the pool) memoizes the
+/// column-shuffle cycle structure across executions of the same plan.
 template <typename T, typename Math>
 void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
-                 workspace_pool<T>& pool) {
+                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
   util::thread_count_guard guard(plan.threads);
+  // The guard may have raised the OpenMP pool past what the workspace
+  // pool was constructed for; size from the actual upcoming team.
+  pool.ensure(util::hardware_threads());
 
   // Every pass reads and writes each element once: 2*m*n*elem bytes of
   // modelled traffic per stage span (the per-stage analogue of Eq. 37).
@@ -273,7 +346,7 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    c2r_col_shuffle(a, mm, width, pool);
+    c2r_col_shuffle(a, mm, width, pool, memo);
   }
 }
 
@@ -288,16 +361,18 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan) {
 /// using caller-owned scratch.
 template <typename T, typename Math>
 void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
-                 workspace_pool<T>& pool) {
+                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
   util::thread_count_guard guard(plan.threads);
+  // See c2r_blocked: cover any pool growth the guard just performed.
+  pool.ensure(util::hardware_threads());
 
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    r2c_col_shuffle(a, mm, width, pool);
+    r2c_col_shuffle(a, mm, width, pool, memo);
   }
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,

@@ -30,9 +30,11 @@ void reserve_skinny(workspace<T>& ws, std::uint64_t m, std::uint64_t n) {
 
 /// Skinny C2R: in-place transpose of a tall row-major m x n array
 /// (m > n); equivalently, AoS -> SoA conversion for m structures of n
-/// fields each.
+/// fields each.  An optional cycle_memo caches the q-permutation's cycle
+/// leaders across executions of the same plan.
 template <typename T, typename Math>
-void c2r_skinny(T* a, const Math& mm, workspace<T>& ws) {
+void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
+                cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   T* tmp = ws.line.data();
@@ -72,17 +74,25 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws) {
   fine_rotate_group(a, m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(), head);
 
   // Pass 3 — static row permutation q, moving whole contiguous rows.
-  find_cycles(m, [&](std::uint64_t i) { return mm.q(i); }, ws.visited,
-              ws.cycle_starts);
-  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
-                        [&](std::uint64_t i) { return mm.q(i); },
-                        ws.cycle_starts, tmp);
+  // The cycles depend only on the plan's shape, so a memo replays them
+  // without re-discovery.
+  const auto q = [&](std::uint64_t i) { return mm.q(i); };
+  std::vector<std::uint64_t>& starts =
+      memo != nullptr ? memo->starts : ws.cycle_starts;
+  if (memo == nullptr || !memo->ready) {
+    find_cycles(m, q, ws.visited, starts);
+    if (memo != nullptr) {
+      memo->ready = true;
+    }
+  }
+  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q, starts, tmp);
 }
 
 /// Skinny R2C: the inverse of c2r_skinny on the same m x n view
 /// (SoA -> AoS conversion).
 template <typename T, typename Math>
-void r2c_skinny(T* a, const Math& mm, workspace<T>& ws) {
+void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
+                cycle_memo* memo = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   T* tmp = ws.line.data();
@@ -92,12 +102,18 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws) {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            4 * m * n * sizeof(T), 0);
 
-    // Pass 1 — inverse row permutation q^-1, whole-row cycle following.
-    find_cycles(m, [&](std::uint64_t i) { return mm.q_inv(i); }, ws.visited,
-                ws.cycle_starts);
-    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n,
-                          [&](std::uint64_t i) { return mm.q_inv(i); },
-                          ws.cycle_starts, tmp);
+    // Pass 1 — inverse row permutation q^-1, whole-row cycle following
+    // (memoized across executions the same way as c2r_skinny's pass 3).
+    const auto q_inv = [&](std::uint64_t i) { return mm.q_inv(i); };
+    std::vector<std::uint64_t>& starts =
+        memo != nullptr ? memo->starts : ws.cycle_starts;
+    if (memo == nullptr || !memo->ready) {
+      find_cycles(m, q_inv, ws.visited, starts);
+      if (memo != nullptr) {
+        memo->ready = true;
+      }
+    }
+    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q_inv, starts, tmp);
 
     // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
     // machinery normalizes them to a coarse whole-row rotation plus small

@@ -215,6 +215,7 @@ void bench_report::attach_telemetry(const telemetry::collector& coll,
           static_cast<double>(pc.rec.threads_requested));
     p.set("threads_active", static_cast<double>(pc.rec.threads_active));
     p.set("threads_honored", pc.rec.threads_honored);
+    p.set("from_cache", pc.rec.from_cache);
     p.set("count", static_cast<double>(pc.count));
     plans.push_back(std::move(p));
   }

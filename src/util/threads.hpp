@@ -22,6 +22,31 @@ namespace inplace::util {
 #endif
 }
 
+/// Non-mutating prediction of what a thread_count_guard(threads) would
+/// achieve: the pool size the next parallel region would get and whether
+/// the request would be honored.  Unlike constructing a guard, this never
+/// calls omp_set_num_threads, so it is safe from concurrent transposes —
+/// a mutating probe would leak a wrong pool size into a neighbor's
+/// parallel region for the probe's lifetime.
+struct thread_probe {
+  int requested = 0;   ///< the caller's request (<= 0 means "no change")
+  int active = 1;      ///< pool size the request would run with
+  bool honored = true; ///< whether the request would take effect
+};
+
+[[nodiscard]] inline thread_probe probe_thread_count(int threads) {
+#if defined(INPLACE_HAVE_OPENMP)
+  if (threads <= 0) {
+    return {threads, omp_get_max_threads(), true};
+  }
+  const int limit = omp_get_thread_limit();
+  const int active = threads < limit ? threads : limit;
+  return {threads, active, active == threads};
+#else
+  return {threads, 1, threads <= 1};  // a serial build honors only "1"
+#endif
+}
+
 /// Scoped override of the OpenMP thread count; restores on destruction.
 ///
 /// `threads <= 0` requests no change (the runtime default stays active and

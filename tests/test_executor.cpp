@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/transpose.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -161,14 +162,20 @@ TEST(Batched, OverflowIsDetectedBeforeTouchingData) {
 
 // Regression: a forged/corrupted plan that still carries
 // engine_kind::automatic used to fall through and silently run the blocked
-// engine; it must fail loudly now.
+// engine; it must fail loudly now.  Checked builds trip the invariant's
+// contract_violation before the error throw — both count as loud.
 TEST(Executor, UnresolvedAutomaticPlanFailsLoudly) {
   transpose_plan forged;
   forged.m = 8;
   forged.n = 8;
   forged.engine = engine_kind::automatic;
   std::vector<float> buf(64, 1.0f);
-  EXPECT_THROW(detail::execute_plan(buf.data(), forged), error);
+  try {
+    detail::execute_plan(buf.data(), forged);
+    FAIL() << "a forged automatic plan executed silently";
+  } catch (const error&) {
+  } catch (const contract_violation&) {
+  }
 }
 
 TEST(Executor, PlannedEnginesAreAlwaysConcrete) {

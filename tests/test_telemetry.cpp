@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/executor.hpp"
@@ -144,6 +145,94 @@ TEST(Telemetry, ClearResetsEverything) {
   EXPECT_EQ(coll.spans_seen(), 0u);
   EXPECT_EQ(coll.plans_seen(), 0u);
   EXPECT_TRUE(coll.raw_spans().empty());
+}
+
+// Regression: the degenerate-shape early return used to skip the
+// telemetry hooks entirely, so 1 x n / m x 1 calls vanished from bench
+// JSON.  Every execution path — the one-shot detail::execute_plan, the
+// plan-reusing transposer, and the context route — must record the plan
+// and a total span even when there is no data movement to do.
+TEST(Telemetry, DegenerateShapesStillRecordPlanAndTotalSpan) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  const std::uint64_t n = 17;
+  std::vector<float> row(n);
+  util::fill_iota(std::span<float>(row));
+  const auto before = row;
+
+  transposer<float> tr(1, n);
+  tr(row.data());                               // executor path
+  detail::execute_plan(row.data(), tr.plan());  // one-shot path
+  transpose_context ctx;
+  ctx.transpose(row.data(), n, 1);              // context path
+  EXPECT_EQ(row, before);  // a vector transposes to itself
+
+  const auto totals = coll.totals();
+  const auto& total =
+      totals[static_cast<std::size_t>(telemetry::stage::total)];
+  EXPECT_EQ(total.calls, 3u);
+  EXPECT_EQ(total.bytes_moved, 3 * 2 * n * sizeof(float));
+  EXPECT_EQ(coll.plans_seen(), 3u);
+  // Two distinct records: the 1 x n plan (seen twice) and the n x 1 plan.
+  ASSERT_EQ(coll.plan_counts().size(), 2u);
+  EXPECT_EQ(telemetry::span_depth(), 0);
+}
+
+// Context cache hits set plan_record::from_cache, so warm and cold
+// executions of one plan land in separate dedup rows instead of blending.
+TEST(Telemetry, ContextSeparatesWarmAndColdPlanRecords) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  transpose_context ctx;  // fresh context: first call is genuinely cold
+  std::vector<double> a(40 * 28);
+  util::fill_iota(std::span<double>(a));
+  ctx.transpose(a.data(), 40, 28);  // cold: allocates + discovers cycles
+  ctx.transpose(a.data(), 40, 28);  // warm
+  ctx.transpose(a.data(), 40, 28);  // warm
+
+  const auto plans = coll.plan_counts();
+  ASSERT_EQ(plans.size(), 2u);
+  std::uint64_t cold = 0;
+  std::uint64_t warm = 0;
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.rec.m, 40u);
+    EXPECT_EQ(p.rec.n, 28u);
+    (p.rec.from_cache ? warm : cold) += p.count;
+  }
+  EXPECT_EQ(cold, 1u);
+  EXPECT_EQ(warm, 2u);
+}
+
+// Concurrent transposes under one installed sink: the collector contract
+// says it must tolerate calls from any thread, and the sink registry is a
+// process-global atomic.  (Named to contain "Transpose" so the sanitizer
+// matrix's TSan filter runs it.)
+TEST(Telemetry, ConcurrentTransposesRecordUnderOneSink) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  transpose_context ctx;
+  constexpr int workers = 6;
+  constexpr int iters = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t m = 24 + static_cast<std::size_t>(t % 3) * 8;
+      std::vector<float> a(m * 18);
+      util::fill_iota(std::span<float>(a));
+      for (int k = 0; k < iters; ++k) {
+        ctx.transpose(a.data(), m, 18);
+      }
+      EXPECT_EQ(telemetry::span_depth(), 0);  // per-thread nesting closed
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const auto totals = coll.totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(telemetry::stage::total)].calls,
+            static_cast<std::uint64_t>(workers * iters));
+  EXPECT_EQ(coll.plans_seen(), static_cast<std::uint64_t>(workers * iters));
 }
 
 TEST(Telemetry, NoSinkMeansNoRecords) {

@@ -62,7 +62,8 @@ for entry in asan ubsan tsan; do
     tsan)
       TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:history_size=7" \
         run_matrix_entry tsan thread \
-        'Integration|Transpose|Executor|Skinny|Threading|permcheck' || status=1
+        'Integration|Transpose|Executor|Skinny|Threading|Context|permcheck' \
+        || status=1
       ;;
   esac
 done

@@ -52,6 +52,10 @@ if [[ $bench -eq 1 ]]; then
   "$repo_root/build/tools/bench_gate" \
       "$repo_root/bench/baselines/BENCH_gpu_model_predictions.json" \
       "$bench_tmp/BENCH_gpu_model_predictions.json"
+  echo "=== bench gate: plan-cache ablation steady-state check"
+  # Self-gating: exits nonzero if the warm loop performed any plan misses
+  # or arena allocations (a plan-cache regression), regardless of timing.
+  "$repo_root/build/bench/ablation_plan_cache" --scale 0.05 --no-json
 fi
 
 echo "=== verify.sh: all gates green"
