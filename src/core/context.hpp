@@ -122,6 +122,7 @@ struct context_key {
   std::uint8_t order = 0;          ///< storage_order (transpose mode only)
   std::uint8_t alg = 0;            ///< options::algorithm
   std::uint8_t engine = 0;         ///< engine_kind
+  std::uint8_t kernel = 0;         ///< kernels::tier (requested, pre-resolve)
   bool strength_reduction = true;
   int threads = 0;
   std::size_t block_bytes = 0;
@@ -292,6 +293,7 @@ class transpose_context {
     key.order = order_tag;
     key.alg = static_cast<std::uint8_t>(opts.alg);
     key.engine = static_cast<std::uint8_t>(opts.engine);
+    key.kernel = static_cast<std::uint8_t>(opts.kernel);
     key.strength_reduction = opts.strength_reduction;
     key.threads = opts.threads;
     key.block_bytes = opts.block_bytes;

@@ -43,6 +43,7 @@ inline void note_plan_record([[maybe_unused]] const transpose_plan& plan,
     rec.block_width = plan.block_width;
     rec.elem_size = sizeof(T);
     rec.strength_reduction = plan.strength_reduction;
+    rec.kernel_tier = kernels::tier_name(plan.ktier);
     rec.threads_requested = probe.requested;
     rec.threads_active = probe.active;
     rec.threads_honored = probe.honored;
@@ -70,10 +71,11 @@ void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
     case engine_kind::skinny: {
       workspace<T> ws;
       reserve_skinny(ws, mm.m, mm.n);
+      const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
       if (plan.dir == direction::c2r) {
-        c2r_skinny(data, mm, ws);
+        c2r_skinny(data, mm, ws, nullptr, &ks, plan.streaming_stores);
       } else {
-        r2c_skinny(data, mm, ws);
+        r2c_skinny(data, mm, ws, nullptr, &ks, plan.streaming_stores);
       }
       break;
     }

@@ -122,16 +122,20 @@ class transposer {
           detail::r2c_reference(data, mm, *ws_);
         }
         break;
-      case engine_kind::skinny:
+      case engine_kind::skinny: {
         // The cycle memo makes the second and later executions skip the
         // row-permutation cycle discovery entirely (the cycles depend only
         // on the plan's shape and direction, which are fixed here).
+        const kernels::kernel_set& ks = kernels::set_for(plan_.ktier);
         if (plan_.dir == direction::c2r) {
-          detail::c2r_skinny(data, mm, *ws_, &memo_);
+          detail::c2r_skinny(data, mm, *ws_, &memo_, &ks,
+                             plan_.streaming_stores);
         } else {
-          detail::r2c_skinny(data, mm, *ws_, &memo_);
+          detail::r2c_skinny(data, mm, *ws_, &memo_, &ks,
+                             plan_.streaming_stores);
         }
         break;
+      }
       case engine_kind::blocked:
         if (plan_.dir == direction::c2r) {
           detail::c2r_blocked(data, mm, plan_, *pool_, &col_memo_);

@@ -7,11 +7,46 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "cpu/kernels/kernel_set.hpp"
+#include "util/aligned.hpp"
 
 namespace inplace::detail {
+
+/// Copies `count` elements dst <- src (disjoint).  Trivially copyable
+/// element types go through memcpy — the compiler cannot always prove
+/// the equivalence through the template, and glibc's memcpy beats an
+/// element loop on whole-row copy-backs — everything else through
+/// std::copy.
+template <typename T>
+inline void copy_back(T* dst, const T* src, std::uint64_t count) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(T));
+  } else {
+    std::copy(src, src + count, dst);
+  }
+}
+
+/// Like copy_back, with the plan's kernel set and streaming decision:
+/// `stream` selects the tier's self-fencing non-temporal copy for
+/// destinations that will not be re-read before eviction.
+template <typename T>
+inline void copy_back(T* dst, const T* src, std::uint64_t count,
+                      const kernels::kernel_set* ks, bool stream) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (ks != nullptr) {
+      kernels::copy_elems(*ks, dst, src, static_cast<std::size_t>(count),
+                          stream);
+      return;
+    }
+  }
+  copy_back(dst, src, count);
+}
 
 #if INPLACE_CHECKS_ENABLED
 /// Checked-mode slot-coverage tracker: proves that a shuffle of `size`
@@ -56,14 +91,18 @@ class shuffle_coverage {
 /// used by the cache-aware passes (Sections 4.6-4.7): a head buffer of
 /// width^2 elements, one sub-row, a visited bitmap and the cycle-leader
 /// list for the row permutation.
+/// All scratch buffers are 64-byte aligned (util::aligned_vector): the
+/// vector kernels' non-temporal and aligned paths require it, and the
+/// scalar loops assume it (std::assume_aligned below).
 template <typename T>
 struct workspace {
-  std::vector<T> line;        ///< max(m, n) elements (Algorithm 1's tmp)
-  std::vector<T> head;        ///< width * width elements (fine rotation)
-  std::vector<T> subrow;      ///< width elements (coarse rotation)
+  util::aligned_vector<T> line;    ///< max(m, n) elements (Algorithm 1's tmp)
+  util::aligned_vector<T> head;    ///< width * width elements (fine rotation)
+  util::aligned_vector<T> subrow;  ///< width elements (coarse rotation)
   std::vector<std::uint8_t> visited;        ///< m flags (cycle discovery)
   std::vector<std::uint64_t> cycle_starts;  ///< row-permutation cycles
   std::vector<std::uint64_t> offsets;       ///< per-column residual shifts
+  util::aligned_vector<std::uint64_t> index;  ///< kernel gather offsets
 
   void reserve(std::uint64_t m, std::uint64_t n, std::uint64_t width) {
     line.resize(static_cast<std::size_t>(std::max(m, n)));
@@ -71,10 +110,16 @@ struct workspace {
     subrow.resize(static_cast<std::size_t>(width));
     visited.assign(static_cast<std::size_t>(m), 0);
     offsets.resize(static_cast<std::size_t>(width));
+    index.resize(static_cast<std::size_t>(width));
     cycle_starts.clear();
     INPLACE_ENSURE(line.size() >= std::max(m, n),
                    "workspace line smaller than max(m, n) — Theorem 6's "
                    "scratch bound");
+    INPLACE_ENSURE(util::is_scratch_aligned(line.data()) &&
+                       util::is_scratch_aligned(head.data()) &&
+                       util::is_scratch_aligned(subrow.data()),
+                   "workspace scratch is not 64-byte aligned (the kernel "
+                   "layer's streaming/aligned paths require it)");
   }
 
   /// True when this workspace can serve an m x n problem with `width`-wide
@@ -83,7 +128,7 @@ struct workspace {
                           std::uint64_t width) const {
     return line.size() >= std::max(m, n) && head.size() >= width * width &&
            subrow.size() >= width && visited.size() >= m &&
-           offsets.size() >= width;
+           offsets.size() >= width && index.size() >= width;
   }
 };
 
@@ -105,13 +150,20 @@ struct col_cycle_memo {
 };
 
 /// tmp[j] = row[idx(j)] for j in [0, n), then copy tmp back over the row.
+/// `tmp` must be 64-byte-aligned scratch disjoint from the row (the
+/// engines pass workspace::line); the loop asserts both to the compiler.
 /// Checked mode proves idx is a bijection on [0, n): n in-range gathers
 /// without a duplicate source read every slot exactly once.
 template <typename T, typename IndexFn>
 void row_gather_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+  INPLACE_CHECK(util::is_scratch_aligned(tmp),
+                "row shuffle scratch is not 64-byte aligned (use "
+                "workspace/aligned_vector scratch)");
 #if INPLACE_CHECKS_ENABLED
   shuffle_coverage cover(n);
 #endif
+  const T* __restrict src = row;
+  T* __restrict dst = std::assume_aligned<util::scratch_alignment>(tmp);
   for (std::uint64_t j = 0; j < n; ++j) {
     const std::uint64_t s = idx(j);
     INPLACE_CHECK(s < n, "row shuffle gather index out of range (Eq. 31)");
@@ -119,21 +171,27 @@ void row_gather_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
     cover.mark(s, "row shuffle gather read a slot twice (Eq. 31 is not a "
                   "bijection)");
 #endif
-    tmp[j] = row[s];
+    dst[j] = src[s];
   }
   INPLACE_ENSURE(cover.complete(),
                  "row shuffle gather skipped a slot (Eq. 31)");
-  std::copy(tmp, tmp + n, row);
+  copy_back(row, tmp, n);
 }
 
 /// tmp[idx(j)] = row[j] for j in [0, n), then copy tmp back over the row.
+/// Same tmp alignment/aliasing contract as row_gather_inplace.
 /// Checked mode proves idx is a bijection on [0, n): n in-range scatters
 /// without a collision fill every slot exactly once.
 template <typename T, typename IndexFn>
 void row_scatter_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
+  INPLACE_CHECK(util::is_scratch_aligned(tmp),
+                "row shuffle scratch is not 64-byte aligned (use "
+                "workspace/aligned_vector scratch)");
 #if INPLACE_CHECKS_ENABLED
   shuffle_coverage cover(n);
 #endif
+  const T* __restrict src = row;
+  T* __restrict dst = std::assume_aligned<util::scratch_alignment>(tmp);
   for (std::uint64_t j = 0; j < n; ++j) {
     const std::uint64_t d = idx(j);
     INPLACE_CHECK(d < n, "row shuffle scatter index out of range (Eq. 24)");
@@ -141,11 +199,11 @@ void row_scatter_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
     cover.mark(d, "row shuffle scatter wrote a slot twice (Eq. 24 is not a "
                   "bijection)");
 #endif
-    tmp[d] = row[j];
+    dst[d] = src[j];
   }
   INPLACE_ENSURE(cover.complete(),
                  "row shuffle scatter left a slot unwritten (Eq. 24)");
-  std::copy(tmp, tmp + n, row);
+  copy_back(row, tmp, n);
 }
 
 /// tmp[i] = A[idx(i)][j] for i in [0, m), then copy tmp back down column j.
@@ -155,9 +213,14 @@ void row_scatter_inplace(T* row, std::uint64_t n, T* tmp, IndexFn idx) {
 template <typename T, typename IndexFn>
 void column_gather_inplace(T* a, std::uint64_t m, std::uint64_t n,
                            std::uint64_t j, T* tmp, IndexFn idx) {
+  INPLACE_CHECK(util::is_scratch_aligned(tmp),
+                "column shuffle scratch is not 64-byte aligned (use "
+                "workspace/aligned_vector scratch)");
 #if INPLACE_CHECKS_ENABLED
   shuffle_coverage cover(m);
 #endif
+  const T* __restrict src = a;
+  T* __restrict dst = std::assume_aligned<util::scratch_alignment>(tmp);
   for (std::uint64_t i = 0; i < m; ++i) {
     const std::uint64_t s = idx(i);
     INPLACE_CHECK(s < m, "column shuffle index out of range (Eq. 26)");
@@ -165,7 +228,7 @@ void column_gather_inplace(T* a, std::uint64_t m, std::uint64_t n,
     cover.mark(s, "column shuffle read a row twice (Eq. 26 is not a "
                   "bijection)");
 #endif
-    tmp[i] = a[s * n + j];
+    dst[i] = src[s * n + j];
   }
   INPLACE_ENSURE(cover.complete(),
                  "column shuffle skipped a row (Eq. 26)");
@@ -218,25 +281,67 @@ void find_cycles(std::uint64_t m, PermFn perm,
 /// Applies the row permutation (gather dst[i] = src[P(i)]) to the width-wide
 /// column group starting at column j0, by following the precomputed cycles
 /// and moving width-element sub-rows through `tmp` (width elements).
+///
+/// The cycle hops visit rows in permutation order — exactly the random
+/// stride pattern hardware prefetchers miss — so the loop evaluates the
+/// permutation one hop ahead (kernels::subrow_prefetch_hops) and
+/// prefetches the next source sub-row while the current one copies.
+/// With a kernel set, sub-row moves of trivially copyable elements go
+/// through the tier's copy/stream_subrow kernels; `stream` selects
+/// unfenced non-temporal stores (one fence() published at the end).
 template <typename T, typename PermFn>
 void permute_rows_in_group(T* a, std::uint64_t n, std::uint64_t j0,
                            std::uint64_t width, PermFn perm,
                            const std::vector<std::uint64_t>& cycle_starts,
-                           T* tmp) {
+                           T* tmp, const kernels::kernel_set* ks = nullptr,
+                           bool stream = false) {
   INPLACE_REQUIRE(j0 + width <= n,
                   "row permutation column group exceeds the row width");
+  constexpr bool use_kernels = std::is_trivially_copyable_v<T>;
+  const std::size_t sub_bytes = static_cast<std::size_t>(width) * sizeof(T);
+  // Matrix-destination moves may stream (their lines are dead for this
+  // pass); the tmp save stays temporal — tmp is cache-hot scratch that
+  // the cycle close re-reads.
+  const auto move = [&](T* dst, const T* src) {
+    if constexpr (use_kernels) {
+      if (ks != nullptr) {
+        (stream ? ks->stream_subrow : ks->copy)(dst, src, sub_bytes);
+        return;
+      }
+    }
+    std::copy(src, src + width, dst);
+  };
+  const auto save = [&](T* dst, const T* src) {
+    if constexpr (use_kernels) {
+      if (ks != nullptr) {
+        ks->copy(dst, src, sub_bytes);
+        return;
+      }
+    }
+    std::copy(src, src + width, dst);
+  };
   for (const std::uint64_t y : cycle_starts) {
     T* base = a + j0;
-    std::copy(base + y * n, base + y * n + width, tmp);
+    save(tmp, base + y * n);
     std::uint64_t i = y;
+    std::uint64_t s = perm(i);
     for (;;) {
-      const std::uint64_t s = perm(i);
       if (s == y) {
-        std::copy(tmp, tmp + width, base + i * n);
+        move(base + i * n, tmp);
         break;
       }
-      std::copy(base + s * n, base + s * n + width, base + i * n);
+      const std::uint64_t s_next = perm(s);
+      if (s_next != y) {
+        kernels::prefetch_read(base + s_next * n);
+      }
+      move(base + i * n, base + s * n);
       i = s;
+      s = s_next;
+    }
+  }
+  if constexpr (use_kernels) {
+    if (ks != nullptr && stream) {
+      ks->fence();
     }
   }
 }

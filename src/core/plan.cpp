@@ -4,6 +4,7 @@
 
 #include "core/contracts.hpp"
 #include "core/errors.hpp"
+#include "cpu/kernels/kernel_set.hpp"
 
 namespace inplace {
 
@@ -47,12 +48,25 @@ transpose_plan make_directed_plan(const void* data, std::size_t m,
     plan.engine = engine_kind::blocked;
   }
 
+  // Hot-path kernel dispatch happens here, once per plan: resolve the
+  // requested tier against the environment override, the running CPU and
+  // the tiers compiled into this binary, then decide whether the working
+  // set is large enough for non-temporal copy-back stores to pay off.
+  plan.ktier = kernels::resolve_tier(opts.kernel);
+  plan.streaming_stores = kernels::streaming_profitable(
+      static_cast<std::size_t>(plan.m) * plan.n * elem_size, plan.ktier);
+
   // Plan postconditions: the planner must resolve `automatic` to a
   // concrete engine (the executors refuse unresolved plans), must never
   // hand an engine a shape it cannot run, and the scratch sizing must
   // honor Theorem 6's bound.
   INPLACE_ENSURE(plan.engine != engine_kind::automatic,
                  "planner left engine_kind::automatic unresolved");
+  INPLACE_ENSURE(plan.ktier != kernels::tier::automatic,
+                 "planner left kernels::tier::automatic unresolved");
+  INPLACE_ENSURE(kernels::tier_available(plan.ktier),
+                 "planner selected a kernel tier the CPU or build cannot "
+                 "execute");
   INPLACE_ENSURE(plan.engine != engine_kind::skinny ||
                      (plan.n <= skinny_col_limit && plan.m > plan.n),
                  "skinny engine selected for a non-skinny shape");

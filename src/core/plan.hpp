@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/layout.hpp"
+#include "cpu/kernels/tier.hpp"
 
 namespace inplace {
 
@@ -61,6 +62,12 @@ struct options {
   /// lines per sub-row amortizes the random-row accesses better (see
   /// bench/ablation_block_width), hence the 256-byte default.
   std::size_t block_bytes = 256;
+
+  /// Hot-path kernel tier; `automatic` lets runtime CPU detection pick
+  /// the best compiled tier (cpu/kernels/).  Pinning tier::scalar is the
+  /// ablation baseline; the INPLACE_FORCE_KERNEL_TIER environment
+  /// variable overrides whatever is set here at plan time.
+  kernels::tier kernel = kernels::tier::automatic;
 };
 
 /// A resolved execution plan.
@@ -72,6 +79,16 @@ struct transpose_plan {
   bool strength_reduction = true;
   int threads = 0;
   std::uint64_t block_width = 16;  ///< sub-row width in *elements*
+
+  /// Resolved hot-path kernel tier (never tier::automatic after
+  /// planning): options.kernel filtered through the environment
+  /// override, runtime CPU detection and the availability chain.
+  kernels::tier ktier = kernels::tier::scalar;
+
+  /// True when the copy-back and rotation passes should use non-temporal
+  /// streaming stores: the tier has them and the working set exceeds the
+  /// cache threshold probed at startup (kernels::streaming_threshold).
+  bool streaming_stores = false;
 
   /// Scratch elements the engines may allocate; Theorem 6's bound of
   /// max(m, n) plus the constant-size cache-aware buffers.

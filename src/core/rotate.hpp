@@ -43,17 +43,37 @@ void rotate_column_naive(T* a, std::uint64_t m, std::uint64_t n,
 /// Coarse pass: rotate the `width`-wide column group at j0 by the common
 /// gather offset k, in place, via analytic cycle following on sub-rows.
 /// There are gcd(m, k) cycles of length m / gcd(m, k) each.
+///
+/// The hop stride is the constant k rows — large and regular, but beyond
+/// most hardware prefetchers' reach — so each hop prefetches the next
+/// source sub-row.  With a kernel set and `stream`, the sub-row stores go
+/// non-temporal (their lines are dead until the next pass); the function
+/// publishes them with one fence() before returning.
 template <typename T>
 void coarse_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
                          std::uint64_t j0, std::uint64_t width,
-                         std::uint64_t k, T* subrow_tmp) {
+                         std::uint64_t k, T* subrow_tmp,
+                         const kernels::kernel_set* ks = nullptr,
+                         bool stream = false) {
   if (k == 0) {
     return;
   }
+  constexpr bool use_kernels = std::is_trivially_copyable_v<T>;
+  const std::size_t sub_bytes = static_cast<std::size_t>(width) * sizeof(T);
+  const auto move = [&](T* dst, const T* src, bool to_matrix) {
+    if constexpr (use_kernels) {
+      if (ks != nullptr) {
+        ((stream && to_matrix) ? ks->stream_subrow : ks->copy)(dst, src,
+                                                               sub_bytes);
+        return;
+      }
+    }
+    std::copy(src, src + width, dst);
+  };
   T* base = a + j0;
   const std::uint64_t z = std::gcd(m, k);
   for (std::uint64_t y = 0; y < z; ++y) {
-    std::copy(base + y * n, base + y * n + width, subrow_tmp);
+    move(subrow_tmp, base + y * n, /*to_matrix=*/false);
     std::uint64_t i = y;
     for (;;) {
       std::uint64_t s = i + k;
@@ -61,11 +81,23 @@ void coarse_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
         s -= m;
       }
       if (s == y) {
-        std::copy(subrow_tmp, subrow_tmp + width, base + i * n);
+        move(base + i * n, subrow_tmp, /*to_matrix=*/true);
         break;
       }
-      std::copy(base + s * n, base + s * n + width, base + i * n);
+      std::uint64_t s_next = s + k;
+      if (s_next >= m) {
+        s_next -= m;
+      }
+      if (s_next != y) {
+        kernels::prefetch_read(base + s_next * n);
+      }
+      move(base + i * n, base + s * n, /*to_matrix=*/true);
       i = s;
+    }
+  }
+  if constexpr (use_kernels) {
+    if (ks != nullptr && stream) {
+      ks->fence();
     }
   }
 }
@@ -74,10 +106,25 @@ void coarse_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
 /// strictly less than min(width, m)) to the group in one streaming sweep.
 /// The first max(res) rows are saved in `head` (width*width elements), so
 /// wrapped reads never observe already-overwritten rows.
+///
+/// Kernel path: for rows [0, m - max_res) no read wraps, and row i's
+/// update is exactly the indexed gather row_i[jj] = row_i[idx[jj]] with
+/// idx[jj] = res[jj]*n + jj — constant across rows, so it is built once
+/// in `idx` (workspace::index, width entries) and the rows dispatch to
+/// gather_index.  The in-place call is safe under the kernel contract:
+/// slot jj' of row i is written after every read of it (reads come from
+/// res*n + jj stripes at row indices >= i; within the row, res[jj']=0
+/// lanes read slot jj' itself, gathered before the block's store).  The
+/// wrapped tail rows [m - max_res, m) keep the scalar head-buffer loop.
+/// `stream` selects non-temporal row stores (the pass is a pure
+/// streaming sweep; lines are dead until the next pass), published with
+/// one fence() before returning.
 template <typename T>
 void fine_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
                        std::uint64_t j0, std::uint64_t width,
-                       const std::uint64_t* res, T* head) {
+                       const std::uint64_t* res, T* head,
+                       const kernels::kernel_set* ks = nullptr,
+                       std::uint64_t* idx = nullptr, bool stream = false) {
   std::uint64_t max_res = 0;
   for (std::uint64_t jj = 0; jj < width; ++jj) {
     max_res = std::max(max_res, res[jj]);
@@ -93,9 +140,26 @@ void fine_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
                   "(Section 4.6)");
   T* base = a + j0;
   for (std::uint64_t r = 0; r < max_res; ++r) {
-    std::copy(base + r * n, base + r * n + width, head + r * width);
+    copy_back(head + r * width, base + r * n, width);
   }
-  for (std::uint64_t i = 0; i < m; ++i) {
+  std::uint64_t i = 0;
+  if constexpr (kernels::has_gather_lanes<T>) {
+    if (ks != nullptr && idx != nullptr && m > max_res) {
+      for (std::uint64_t jj = 0; jj < width; ++jj) {
+        idx[jj] = res[jj] * n + jj;
+      }
+      const std::uint64_t unwrapped = m - max_res;
+      for (; i < unwrapped; ++i) {
+        T* row = base + i * n;
+        kernels::gather_index(*ks, row, row, idx,
+                              static_cast<std::size_t>(width), stream);
+      }
+      if (stream) {
+        ks->fence();
+      }
+    }
+  }
+  for (; i < m; ++i) {
     for (std::uint64_t jj = 0; jj < width; ++jj) {
       const std::uint64_t s = i + res[jj];
       base[i * n + jj] =
@@ -112,7 +176,9 @@ void fine_rotate_group(T* a, std::uint64_t m, std::uint64_t n,
 template <typename T, typename AmountFn>
 void rotate_group_cache_aware(T* a, std::uint64_t m, std::uint64_t n,
                               std::uint64_t j0, std::uint64_t w,
-                              AmountFn amount, workspace<T>& ws) {
+                              AmountFn amount, workspace<T>& ws,
+                              const kernels::kernel_set* ks = nullptr,
+                              bool stream = false) {
   // Normalize the group's rotation amounts to a common coarse offset k
   // plus small non-negative residuals: map each (amount - amount(j0))
   // mod m into the signed window (-m/2, m/2] and take its minimum as the
@@ -143,8 +209,9 @@ void rotate_group_cache_aware(T* a, std::uint64_t m, std::uint64_t n,
   for (std::uint64_t jj = 0; jj < w; ++jj) {
     ws.offsets[jj] = (amount(j0 + jj) % m + m - k) % m;
   }
-  coarse_rotate_group(a, m, n, j0, w, k, ws.subrow.data());
-  fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+  coarse_rotate_group(a, m, n, j0, w, k, ws.subrow.data(), ks, stream);
+  fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data(), ks,
+                    ws.index.data(), stream);
 }
 
 /// Serial convenience wrapper: rotates every column of the array, group by
@@ -152,13 +219,15 @@ void rotate_group_cache_aware(T* a, std::uint64_t m, std::uint64_t n,
 template <typename T, typename AmountFn>
 void rotate_columns_blocked(T* a, std::uint64_t m, std::uint64_t n,
                             std::uint64_t width, AmountFn amount,
-                            workspace<T>& ws) {
+                            workspace<T>& ws,
+                            const kernels::kernel_set* ks = nullptr,
+                            bool stream = false) {
   if (m <= 1) {
     return;
   }
   for (std::uint64_t j0 = 0; j0 < n; j0 += width) {
     rotate_group_cache_aware(a, m, n, j0, std::min(width, n - j0), amount,
-                             ws);
+                             ws, ks, stream);
   }
 }
 

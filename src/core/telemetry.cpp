@@ -14,7 +14,8 @@ std::atomic<sink*> g_sink{nullptr};
 /// literals for the same engine.
 bool same_plan(const plan_record& a, const plan_record& b) {
   return std::strcmp(a.engine, b.engine) == 0 &&
-         std::strcmp(a.direction, b.direction) == 0 && a.m == b.m &&
+         std::strcmp(a.direction, b.direction) == 0 &&
+         std::strcmp(a.kernel_tier, b.kernel_tier) == 0 && a.m == b.m &&
          a.n == b.n && a.block_width == b.block_width &&
          a.elem_size == b.elem_size &&
          a.strength_reduction == b.strength_reduction &&

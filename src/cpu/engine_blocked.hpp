@@ -85,11 +85,15 @@ class workspace_pool {
   std::vector<workspace<T>> pool_;
 };
 
-/// Parallel cache-aware rotation of all columns by amount(j).
+/// Parallel cache-aware rotation of all columns by amount(j).  Each
+/// group fences its own streamed stores (rotate_group_cache_aware), so
+/// the parallel region ends with every non-temporal write published.
 template <typename T, typename AmountFn>
 void rotate_all_parallel(T* a, std::uint64_t m, std::uint64_t n,
                          std::uint64_t width, AmountFn amount,
-                         workspace_pool<T>& pool) {
+                         workspace_pool<T>& pool,
+                         const kernels::kernel_set* ks = nullptr,
+                         bool stream = false) {
   if (m <= 1) {
     return;
   }
@@ -101,7 +105,8 @@ void rotate_all_parallel(T* a, std::uint64_t m, std::uint64_t n,
   for (std::int64_t g = 0; g < groups; ++g) {
     const std::uint64_t j0 = static_cast<std::uint64_t>(g) * width;
     const std::uint64_t w = std::min(width, n - j0);
-    rotate_group_cache_aware(a, m, n, j0, w, amount, pool.local());
+    rotate_group_cache_aware(a, m, n, j0, w, amount, pool.local(), ks,
+                             stream);
   }
 }
 
@@ -164,12 +169,102 @@ void permute_rows_parallel(T* a, std::uint64_t m, std::uint64_t n,
   }
 }
 
+/// Whether the kernel layer should run row i's d' shuffle, and the
+/// segment geometry it needs.  Row i's index stream d'_i(j) is piecewise
+/// affine: within each of the c segments of length b = n/c, advance()
+/// adds only (m mod n), so the whole segment is one affine
+/// gather/scatter kernel call; the +1 / wrap corrections happen between
+/// segments (Eq. 31 strength reduction, vector form).  Short segments
+/// (b below one vector's worth of lanes with headroom) stay on the
+/// scalar stepper — per-segment dispatch overhead would dominate.
+/// The kernels additionally require the scratch line to spill L2
+/// (kernels::row_kernel_min_line_bytes): the scattered side of a row
+/// shuffle is the line itself, and while it is cache-resident a hardware
+/// gather/scatter has no miss latency to hide — measured ~25% slower
+/// than the scalar stepper on an AVX-512 Xeon for a 40 KiB line, in
+/// both the scatter (C2R) and gather (R2C) forms.
+inline constexpr std::uint64_t row_pass_min_segment = 16;
+
+/// The shared engagement predicate for both row-pass directions.
+template <typename T, typename Math>
+[[nodiscard]] inline bool row_pass_use_kernels(
+    const Math& mm, const kernels::kernel_set* ks) {
+  return kernels::has_gather_lanes<T> && ks != nullptr &&
+         mm.b >= row_pass_min_segment &&
+         mm.n * sizeof(T) >= kernels::row_kernel_min_line_bytes();
+}
+
+#if INPLACE_CHECKS_ENABLED
+/// Checked-mode pre-pass for the kernel row shuffle: replays row i's
+/// index stream with the scalar stepper and proves it is a bijection on
+/// [0, n) — the same coverage proof the scalar path gets inline.
+template <typename Math>
+inline void check_row_stream_bijective(const Math& mm, std::uint64_t i) {
+  shuffle_coverage cover(mm.n);
+  d_prime_stepper step(mm, i);
+  for (std::uint64_t j = 0; j < mm.n; ++j, step.advance()) {
+    INPLACE_CHECK(step.value() < mm.n,
+                  "row shuffle kernel index out of range (Eq. 31)");
+    cover.mark(step.value(),
+               "row shuffle kernel stream hit a slot twice (Eq. 24/31 is "
+               "not a bijection)");
+  }
+  INPLACE_ENSURE(cover.complete(),
+                 "row shuffle kernel stream skipped a slot (Eq. 24/31)");
+}
+#endif
+
+/// Runs row i's d' shuffle through the kernel set, one affine segment at
+/// a time.  Scatter form (C2R): tmp[d'_i(j)] = row[j].  Gather form
+/// (R2C): tmp[j] = row[d'_i(j)].  The inter-segment index update mirrors
+/// d_prime_stepper::advance()'s boundary branch exactly.
+template <bool Scatter, typename T, typename Math>
+inline void row_pass_kernel_row(T* row, T* tmp, const Math& mm,
+                                std::uint64_t i,
+                                const kernels::kernel_set& ks) {
+  const std::uint64_t n = mm.n;
+  const std::uint64_t b = mm.b;
+  const std::uint64_t step = mm.m % n;
+  const std::uint64_t b_step = b * step % n;
+  const std::uint64_t wrap_fix = (n + 1 - step) % n;  // (1 - m) mod n
+  std::uint64_t val = i % n;
+  std::uint64_t u = i;
+  for (std::uint64_t s = 0; s < mm.c; ++s) {
+    if constexpr (Scatter) {
+      kernels::scatter_affine(ks, tmp, row + s * b,
+                              static_cast<std::size_t>(b), val, step, n);
+    } else {
+      kernels::gather_affine(ks, tmp + s * b, row,
+                             static_cast<std::size_t>(b), val, step, n);
+    }
+    val += b_step;
+    if (val >= n) {
+      val -= n;
+    }
+    if (++u == mm.m) {
+      u = 0;
+      val += wrap_fix;
+    } else {
+      val += 1;
+    }
+    if (val >= n) {
+      val -= n;
+    }
+  }
+}
+
 /// Parallel C2R row shuffle with the incremental d' evaluator: scatter
 /// tmp[d'_i(j)] = row[j] with adds and conditional subtracts only.
+/// With a kernel set, 4/8-byte elements dispatch each affine segment to
+/// the tier's scatter kernel and copy back through the tier's (optionally
+/// non-temporal) contiguous copy.
 template <typename T, typename Math>
-void c2r_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
+void c2r_row_pass(T* a, const Math& mm, workspace_pool<T>& pool,
+                  const kernels::kernel_set* ks = nullptr,
+                  bool stream = false) {
   const auto rows = static_cast<std::int64_t>(mm.m);
   const std::uint64_t n = mm.n;
+  [[maybe_unused]] const bool use_kernels = row_pass_use_kernels<T>(mm, ks);
 #if defined(INPLACE_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 8)
 #endif
@@ -177,20 +272,34 @@ void c2r_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
     const auto i = static_cast<std::uint64_t>(ii);
     T* row = a + i * n;
     T* tmp = pool.local().line.data();
+    if constexpr (kernels::has_gather_lanes<T>) {
+      if (use_kernels) {
+#if INPLACE_CHECKS_ENABLED
+        check_row_stream_bijective(mm, i);
+#endif
+        row_pass_kernel_row</*Scatter=*/true>(row, tmp, mm, i, *ks);
+        copy_back(row, tmp, n, ks, stream);
+        continue;
+      }
+    }
     d_prime_stepper step(mm, i);
     for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
       tmp[step.value()] = row[j];
     }
-    std::copy(tmp, tmp + n, row);
+    copy_back(row, tmp, n, ks, stream);
   }
 }
 
 /// Parallel R2C row shuffle (gather form, Section 4.3) with the
-/// incremental d' evaluator: tmp[j] = row[d'_i(j)].
+/// incremental d' evaluator: tmp[j] = row[d'_i(j)].  Kernel dispatch as
+/// in c2r_row_pass, using the tier's affine gather (vpgatherdd/qq).
 template <typename T, typename Math>
-void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
+void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool,
+                  const kernels::kernel_set* ks = nullptr,
+                  bool stream = false) {
   const auto rows = static_cast<std::int64_t>(mm.m);
   const std::uint64_t n = mm.n;
+  [[maybe_unused]] const bool use_kernels = row_pass_use_kernels<T>(mm, ks);
 #if defined(INPLACE_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 8)
 #endif
@@ -198,11 +307,21 @@ void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
     const auto i = static_cast<std::uint64_t>(ii);
     T* row = a + i * n;
     T* tmp = pool.local().line.data();
+    if constexpr (kernels::has_gather_lanes<T>) {
+      if (use_kernels) {
+#if INPLACE_CHECKS_ENABLED
+        check_row_stream_bijective(mm, i);
+#endif
+        row_pass_kernel_row</*Scatter=*/false>(row, tmp, mm, i, *ks);
+        copy_back(row, tmp, n, ks, stream);
+        continue;
+      }
+    }
     d_prime_stepper step(mm, i);
     for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
       tmp[j] = row[step.value()];
     }
-    std::copy(tmp, tmp + n, row);
+    copy_back(row, tmp, n, ks, stream);
   }
 }
 
@@ -220,7 +339,9 @@ void r2c_row_pass(T* a, const Math& mm, workspace_pool<T>& pool) {
 template <typename T, typename Math>
 void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
                      workspace_pool<T>& pool,
-                     col_cycle_memo* memo = nullptr) {
+                     col_cycle_memo* memo = nullptr,
+                     const kernels::kernel_set* ks = nullptr,
+                     bool stream = false) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
@@ -241,7 +362,8 @@ void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
     for (std::uint64_t jj = 0; jj < w; ++jj) {
       ws.offsets[jj] = jj % m;
     }
-    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data(), ks,
+                      ws.index.data(), stream);
     const std::uint64_t shift = j0 % m;
     const auto perm = [&](std::uint64_t i) {
       const std::uint64_t v = mm.q(i) + shift;
@@ -252,11 +374,12 @@ void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
       if (!replay) {
         find_cycles(m, perm, ws.visited, starts);
       }
-      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data());
+      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data(), ks,
+                            stream);
     } else {
       find_cycles(m, perm, ws.visited, ws.cycle_starts);
       permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
-                            ws.subrow.data());
+                            ws.subrow.data(), ks, stream);
     }
   }
   if (memo != nullptr) {
@@ -270,7 +393,9 @@ void c2r_col_shuffle(T* a, const Math& mm, std::uint64_t width,
 template <typename T, typename Math>
 void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
                      workspace_pool<T>& pool,
-                     col_cycle_memo* memo = nullptr) {
+                     col_cycle_memo* memo = nullptr,
+                     const kernels::kernel_set* ks = nullptr,
+                     bool stream = false) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const auto groups = static_cast<std::int64_t>((n + width - 1) / width);
@@ -299,16 +424,18 @@ void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
       if (!replay) {
         find_cycles(m, perm, ws.visited, starts);
       }
-      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data());
+      permute_rows_in_group(a, n, j0, w, perm, starts, ws.subrow.data(), ks,
+                            stream);
     } else {
       find_cycles(m, perm, ws.visited, ws.cycle_starts);
       permute_rows_in_group(a, n, j0, w, perm, ws.cycle_starts,
-                            ws.subrow.data());
+                            ws.subrow.data(), ks, stream);
     }
     for (std::uint64_t jj = 0; jj < w; ++jj) {
       ws.offsets[jj] = (w - 1 - jj) % m;
     }
-    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data());
+    fine_rotate_group(a, m, n, j0, w, ws.offsets.data(), ws.head.data(), ks,
+                      ws.index.data(), stream);
   }
   if (memo != nullptr) {
     memo->ready = true;
@@ -324,6 +451,21 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
+  // One vtable lookup per execution; every pass below dispatches through
+  // the plan's resolved tier, and streams (non-temporal stores) when the
+  // planner decided the working set exceeds the cache threshold.
+  const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
+  const bool stream = plan.streaming_stores;
+  // The rotation/shuffle passes work one column group (width * m
+  // elements) at a time, and stages within a group re-read each other's
+  // writes; when the group fits in cache, non-temporal stores would evict
+  // exactly the lines the next stage is about to load, turning L2 hits
+  // into DRAM round-trips (measured 0.8-0.9x in bench/ablation_kernels).
+  // Stream group-local stores only when the group itself spills.
+  const bool stream_group =
+      stream && kernels::streaming_profitable(
+                    static_cast<std::size_t>(width * m) * sizeof(T),
+                    plan.ktier);
   util::thread_count_guard guard(plan.threads);
   // The guard may have raised the OpenMP pool past what the workspace
   // pool was constructed for; size from the actual upcoming team.
@@ -336,17 +478,22 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
                            2 * m * n * sizeof(T), 0);
     rotate_all_parallel(
         a, m, n, width,
-        [&](std::uint64_t j) { return mm.prerotate_offset(j); }, pool);
+        [&](std::uint64_t j) { return mm.prerotate_offset(j); }, pool, &ks,
+        stream_group);
   }
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
-    c2r_row_pass(a, mm, pool);
+    // Row copy-backs never stream: the shuffle just read the row, so its
+    // lines sit in cache in exclusive state and a temporal write-back is
+    // free of RFO traffic — NT stores only add store-path overhead here
+    // (measured ~15% slower on the row pass of a 320 MiB double matrix).
+    c2r_row_pass(a, mm, pool, &ks, /*stream=*/false);
   }
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    c2r_col_shuffle(a, mm, width, pool, memo);
+    c2r_col_shuffle(a, mm, width, pool, memo, &ks, stream_group);
   }
 }
 
@@ -365,6 +512,14 @@ void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
+  // See c2r_blocked: one vtable lookup, every pass dispatches through it,
+  // and group-local stores stream only when a column group spills cache.
+  const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
+  const bool stream = plan.streaming_stores;
+  const bool stream_group =
+      stream && kernels::streaming_profitable(
+                    static_cast<std::size_t>(width * m) * sizeof(T),
+                    plan.ktier);
   util::thread_count_guard guard(plan.threads);
   // See c2r_blocked: cover any pool growth the guard just performed.
   pool.ensure(util::hardware_threads());
@@ -372,19 +527,21 @@ void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    r2c_col_shuffle(a, mm, width, pool, memo);
+    r2c_col_shuffle(a, mm, width, pool, memo, &ks, stream_group);
   }
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
-    r2c_row_pass(a, mm, pool);
+    // Never streamed, same rationale as the C2R row pass.
+    r2c_row_pass(a, mm, pool, &ks, /*stream=*/false);
   }
   if (mm.needs_prerotate()) {
     INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
                            2 * m * n * sizeof(T), 0);
     rotate_all_parallel(
         a, m, n, width,
-        [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); }, pool);
+        [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); }, pool,
+        &ks, stream_group);
   }
 }
 

@@ -1,0 +1,262 @@
+// Runtime tier detection, the dispatch registry, cache-size probing and
+// the streaming-store threshold.  Selection happens once per plan
+// (core/plan.cpp calls resolve_tier/set_for at plan time), so nothing
+// here is hot; the vtable pointer the plan stores is.
+
+#include "cpu/kernels/kernel_set.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "cpu/kernels/kernels_common.hpp"
+
+namespace inplace::kernels {
+
+namespace detail {
+// Per-tier factories, one per TU; a tier not compiled into this binary
+// returns nullptr from its stub.
+const kernel_set* scalar_set();
+const kernel_set* avx2_set();
+const kernel_set* avx512_set();
+const kernel_set* neon_set();
+}  // namespace detail
+
+namespace {
+
+/// True when the running CPU can execute tier `t` (independent of
+/// whether the tier was compiled in).
+bool cpu_supports(tier t) {
+  switch (t) {
+    case tier::automatic:
+    case tier::scalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case tier::avx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case tier::avx512:
+      // The gather/scatter + min_epu64 kernels need F; VL/BW/DQ are the
+      // build flags' assumed baseline, so require the full set before
+      // claiming the tier (Skylake-SP onward; excludes AVX512F-only
+      // Knights parts).
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+    case tier::neon:
+      return false;
+#elif defined(__aarch64__)
+    case tier::avx2:
+    case tier::avx512:
+      return false;
+    case tier::neon:
+      return true;  // NEON is architecturally mandatory on aarch64
+#else
+    case tier::avx2:
+    case tier::avx512:
+    case tier::neon:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const kernel_set* compiled_set(tier t) {
+  switch (t) {
+    case tier::automatic:
+      return nullptr;
+    case tier::scalar:
+      return detail::scalar_set();
+    case tier::avx2:
+      return detail::avx2_set();
+    case tier::avx512:
+      return detail::avx512_set();
+    case tier::neon:
+      return detail::neon_set();
+  }
+  return nullptr;
+}
+
+/// One step down the degradation chain.
+tier degrade(tier t) {
+  switch (t) {
+    case tier::avx512:
+      return tier::avx2;
+    case tier::avx2:
+    case tier::neon:
+    case tier::automatic:
+    case tier::scalar:
+      return tier::scalar;
+  }
+  return tier::scalar;
+}
+
+std::optional<tier> parse_tier(const char* s) {
+  if (std::strcmp(s, "scalar") == 0) {
+    return tier::scalar;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    return tier::avx2;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    return tier::avx512;
+  }
+  if (std::strcmp(s, "neon") == 0) {
+    return tier::neon;
+  }
+  if (std::strcmp(s, "native") == 0 || std::strcmp(s, "automatic") == 0) {
+    return tier::automatic;
+  }
+  return std::nullopt;
+}
+
+std::size_t probe_cache_level(int level, std::size_t fallback) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE) && defined(_SC_LEVEL2_CACHE_SIZE) && \
+    defined(_SC_LEVEL3_CACHE_SIZE)
+  const int name = level == 1   ? _SC_LEVEL1_DCACHE_SIZE
+                   : level == 2 ? _SC_LEVEL2_CACHE_SIZE
+                                : _SC_LEVEL3_CACHE_SIZE;
+  const long v = ::sysconf(name);
+  if (v > 0) {
+    return static_cast<std::size_t>(v);
+  }
+#else
+  (void)level;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+tier native_tier() {
+  static const tier best = [] {
+    for (tier t : {tier::avx512, tier::avx2, tier::neon}) {
+      if (cpu_supports(t) && compiled_set(t) != nullptr) {
+        return t;
+      }
+    }
+    return tier::scalar;
+  }();
+  return best;
+}
+
+bool tier_available(tier t) {
+  if (t == tier::automatic) {
+    return true;
+  }
+  return cpu_supports(t) && compiled_set(t) != nullptr;
+}
+
+tier resolve_tier(tier requested) {
+  // Re-read the environment on every call (not cached): tests flip the
+  // override between plans, and plans are made rarely.
+  if (const char* env = std::getenv("INPLACE_FORCE_KERNEL_TIER")) {
+    if (*env != '\0') {
+      if (const auto forced = parse_tier(env)) {
+        requested = *forced;
+      } else {
+        static bool warned = false;
+        if (!warned) {
+          warned = true;
+          std::fprintf(stderr,
+                       "inplace: ignoring unknown INPLACE_FORCE_KERNEL_TIER="
+                       "'%s' (want scalar|avx2|avx512|neon|native)\n",
+                       env);
+        }
+      }
+    }
+  }
+  if (requested == tier::automatic) {
+    requested = native_tier();
+  }
+  while (requested != tier::scalar && !tier_available(requested)) {
+    requested = degrade(requested);
+  }
+  return requested;
+}
+
+const kernel_set& set_for(tier t) {
+  if (t == tier::automatic) {
+    t = native_tier();
+  }
+  while (t != tier::scalar && !tier_available(t)) {
+    t = degrade(t);
+  }
+  const kernel_set* ks = compiled_set(t);
+  return ks != nullptr ? *ks : *detail::scalar_set();
+}
+
+const cache_sizes& probed_caches() {
+  static const cache_sizes sizes = [] {
+    cache_sizes cs;
+    cs.l1_bytes = probe_cache_level(1, cs.l1_bytes);
+    cs.l2_bytes = probe_cache_level(2, cs.l2_bytes);
+    cs.l3_bytes = probe_cache_level(3, cs.l3_bytes);
+    // Some cores report no L3 (sysconf 0 falls back above, but guard a
+    // probed L3 smaller than L2 too): treat the largest level as "the"
+    // last-level cache for the streaming threshold.
+    if (cs.l3_bytes < cs.l2_bytes) {
+      cs.l3_bytes = cs.l2_bytes;
+    }
+    return cs;
+  }();
+  return sizes;
+}
+
+std::size_t streaming_threshold() {
+  // Env read per call for the same reason as resolve_tier: tests set
+  // INPLACE_NT_THRESHOLD=0 to force streaming on small shapes.
+  if (const char* env = std::getenv("INPLACE_NT_THRESHOLD")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        return static_cast<std::size_t>(v);
+      }
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(
+            stderr,
+            "inplace: ignoring non-numeric INPLACE_NT_THRESHOLD='%s'\n", env);
+      }
+    }
+  }
+  return probed_caches().l3_bytes;
+}
+
+bool streaming_profitable(std::size_t working_set_bytes, tier t) {
+  const bool has_nt = t == tier::avx2 || t == tier::avx512;
+  return has_nt && working_set_bytes >= streaming_threshold();
+}
+
+std::size_t row_kernel_min_line_bytes() {
+  // Env read per call, same pattern as streaming_threshold: tests set
+  // INPLACE_ROW_KERNEL_MIN_LINE=0 to exercise the row kernels on small
+  // shapes.
+  if (const char* env = std::getenv("INPLACE_ROW_KERNEL_MIN_LINE")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        return static_cast<std::size_t>(v);
+      }
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(
+            stderr,
+            "inplace: ignoring non-numeric INPLACE_ROW_KERNEL_MIN_LINE='%s'\n",
+            env);
+      }
+    }
+  }
+  return probed_caches().l2_bytes;
+}
+
+}  // namespace inplace::kernels

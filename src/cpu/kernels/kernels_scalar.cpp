@@ -1,0 +1,15 @@
+// The always-available portable tier: restrict-qualified scalar loops
+// compiled with the project's baseline flags.  Every other tier is
+// measured against this one (bench/ablation_kernels), and
+// INPLACE_FORCE_KERNEL_TIER=scalar pins the whole library to it.
+
+#include "cpu/kernels/kernels_common.hpp"
+
+namespace inplace::kernels::detail {
+
+const kernel_set* scalar_set() {
+  static const kernel_set ks = make_portable_set(tier::scalar);
+  return &ks;
+}
+
+}  // namespace inplace::kernels::detail

@@ -1,0 +1,41 @@
+#pragma once
+// Kernel dispatch tiers.  This tiny header exists so the planner
+// (core/plan.hpp) can record which hot-path kernel implementation a plan
+// selected without pulling in the full vtable/detection machinery
+// (cpu/kernels/kernel_set.hpp).
+
+#include <cstdint>
+
+namespace inplace::kernels {
+
+/// Which hot-path kernel implementation the engines dispatch to.  One
+/// binary carries every tier compiled in its own translation unit with
+/// per-TU ISA flags; the planner picks the best tier the running CPU
+/// supports (runtime cpuid/getauxval detection), so the same build runs
+/// everywhere.
+enum class tier : std::uint8_t {
+  automatic = 0,  ///< planner input: pick the best available tier
+  scalar = 1,     ///< portable restrict-qualified loops (always available)
+  avx2 = 2,       ///< x86-64 AVX2: 256-bit gathers, NT streaming stores
+  avx512 = 3,     ///< x86-64 AVX-512F/BW/VL/DQ: 512-bit gathers + scatters
+  neon = 4,       ///< aarch64 NEON: vector copies, prefetched scalar gathers
+};
+
+/// Stable display names (plan records, telemetry, BENCH JSON).
+[[nodiscard]] constexpr const char* tier_name(tier t) {
+  switch (t) {
+    case tier::automatic:
+      return "automatic";
+    case tier::scalar:
+      return "scalar";
+    case tier::avx2:
+      return "avx2";
+    case tier::avx512:
+      return "avx512";
+    case tier::neon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+}  // namespace inplace::kernels

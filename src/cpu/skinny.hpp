@@ -34,9 +34,17 @@ void reserve_skinny(workspace<T>& ws, std::uint64_t m, std::uint64_t n) {
 /// leaders across executions of the same plan.
 template <typename T, typename Math>
 void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
-                cycle_memo* memo = nullptr) {
+                cycle_memo* memo = nullptr,
+                const kernels::kernel_set* ks = nullptr,
+                bool stream = false) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
+  // Every streamed store in this engine is row-granular (n elements): a
+  // narrow row cannot amortize non-temporal write-combining and fencing
+  // (measured 2.6x slower end-to-end at n = 16 before this gate), so
+  // narrow-row plans stay temporal regardless of the matrix-scale
+  // streaming decision.
+  stream = stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
   T* tmp = ws.line.data();
   T* head = ws.head.data();
 
@@ -52,12 +60,17 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
       std::copy(a + r * n, a + (r + 1) * n, head + r * n);
     }
     for (std::uint64_t i = 0; i < m; ++i) {
+      // The fused gather reads rows [i, i + c) — the next row's window
+      // slides down by one, so prefetch the row entering it.
+      if (i + mm.c < m) {
+        kernels::prefetch_read(a + (i + mm.c) * n);
+      }
       d_prime_stepper step(mm, i);
       for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
         const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
         tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
       }
-      std::copy(tmp, tmp + n, a + i * n);
+      copy_back(a + i * n, tmp, n, ks, stream);
     }
   }
 
@@ -71,7 +84,8 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
   for (std::uint64_t j = 0; j < n; ++j) {
     ws.offsets[j] = mm.p_offset(j);
   }
-  fine_rotate_group(a, m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(), head);
+  fine_rotate_group(a, m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(), head,
+                    ks, ws.index.data(), stream);
 
   // Pass 3 — static row permutation q, moving whole contiguous rows.
   // The cycles depend only on the plan's shape, so a memo replays them
@@ -85,16 +99,21 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
       memo->ready = true;
     }
   }
-  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q, starts, tmp);
+  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q, starts, tmp, ks,
+                        stream);
 }
 
 /// Skinny R2C: the inverse of c2r_skinny on the same m x n view
 /// (SoA -> AoS conversion).
 template <typename T, typename Math>
 void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
-                cycle_memo* memo = nullptr) {
+                cycle_memo* memo = nullptr,
+                const kernels::kernel_set* ks = nullptr,
+                bool stream = false) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
+  // Same narrow-row amortization gate as c2r_skinny.
+  stream = stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
   T* tmp = ws.line.data();
   T* head = ws.head.data();
 
@@ -113,14 +132,15 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
         memo->ready = true;
       }
     }
-    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q_inv, starts, tmp);
+    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q_inv, starts, tmp,
+                          ks, stream);
 
     // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
     // machinery normalizes them to a coarse whole-row rotation plus small
     // residuals).
     rotate_group_cache_aware(
         a, m, n, /*j0=*/0, /*w=*/n,
-        [&](std::uint64_t j) { return mm.p_inv_offset(j); }, ws);
+        [&](std::uint64_t j) { return mm.p_inv_offset(j); }, ws, ks, stream);
   }
 
   INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
@@ -142,6 +162,11 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
   // computable with one add and a conditional subtract per element.
   const std::uint64_t m_mod_n = m % n;
   for (std::uint64_t ii = m; ii-- > 0;) {
+    // Bottom-up sweep: row ii reads rows (ii - c, ii]; prefetch the row
+    // entering the window next iteration.
+    if (ii > mm.c) {
+      kernels::prefetch_read(a + (ii - mm.c) * n);
+    }
     std::uint64_t jj = ii % n;  // d_i(0)
     std::uint64_t off = 0;      // ⌊j/b⌋
     std::uint64_t jb = 0;       // j mod b
@@ -158,7 +183,7 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
         ++off;
       }
     }
-    std::copy(tmp, tmp + n, a + ii * n);
+    copy_back(a + ii * n, tmp, n, ks, stream);
   }
 }
 

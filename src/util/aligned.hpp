@@ -1,0 +1,62 @@
+#pragma once
+// Cache-line-aligned storage for the engines' scratch buffers.  The
+// workspace lines feed the vector kernels (cpu/kernels/): 64-byte
+// alignment makes every scratch row start on a cache line, satisfies the
+// non-temporal store alignment the streaming copy-back wants, and lets
+// the scalar permute/rotate loops carry std::assume_aligned hints.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace inplace::util {
+
+/// Scratch buffers are aligned to one cache line (also the widest vector
+/// register and the non-temporal store granularity on x86-64).
+inline constexpr std::size_t scratch_alignment = 64;
+
+/// Minimal allocator handing out `Align`-aligned storage via the aligned
+/// operator new (C++17).  Equality is stateless: any two instances for
+/// the same T/Align interoperate.
+template <typename T, std::size_t Align = scratch_alignment>
+struct aligned_allocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+  aligned_allocator() noexcept = default;
+  template <typename U>
+  explicit aligned_allocator(const aligned_allocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = aligned_allocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    return static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t{Align}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const aligned_allocator&,
+                         const aligned_allocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned (workspace scratch, the
+/// kernel index buffers, and the test/bench temporaries handed to the
+/// permute primitives, which require the alignment — see permute.hpp).
+template <typename T>
+using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+/// True when `p` satisfies the scratch alignment contract.
+inline bool is_scratch_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % scratch_alignment == 0;
+}
+
+}  // namespace inplace::util

@@ -19,6 +19,7 @@
 #include "core/permute.hpp"
 #include "core/rotate.hpp"
 #include "core/tensor.hpp"
+#include "util/aligned.hpp"
 #include "core/transpose.hpp"
 #include "util/matrix.hpp"
 
@@ -90,7 +91,7 @@ TEST(CheckedShuffles, CorrectShufflePassesAllContracts) {
 TEST(CheckedShuffles, ScatterCollisionIsCaught) {
   std::vector<int> row(8);
   std::iota(row.begin(), row.end(), 0);
-  std::vector<int> tmp(8);
+  inplace::util::aligned_vector<int> tmp(8);
   // Maps both j=2 and j=5 to slot 1: not a bijection.
   EXPECT_THROW(inplace::detail::row_scatter_inplace(
                    row.data(), 8, tmp.data(),
@@ -100,7 +101,7 @@ TEST(CheckedShuffles, ScatterCollisionIsCaught) {
 
 TEST(CheckedShuffles, GatherOutOfRangeIsCaught) {
   std::vector<int> row(8);
-  std::vector<int> tmp(8);
+  inplace::util::aligned_vector<int> tmp(8);
   EXPECT_THROW(inplace::detail::row_gather_inplace(
                    row.data(), 8, tmp.data(),
                    [](std::uint64_t j) { return j + 1; }),  // j=7 -> 8
@@ -109,7 +110,7 @@ TEST(CheckedShuffles, GatherOutOfRangeIsCaught) {
 
 TEST(CheckedShuffles, ColumnShuffleDuplicateRowIsCaught) {
   std::vector<int> a(6 * 3);
-  std::vector<int> tmp(6);
+  inplace::util::aligned_vector<int> tmp(6);
   EXPECT_THROW(inplace::detail::column_gather_inplace(
                    a.data(), 6, 3, 0, tmp.data(),
                    [](std::uint64_t i) { return i / 2; }),  // 0,0,1,1,2,2

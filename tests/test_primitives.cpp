@@ -11,6 +11,7 @@
 
 #include "core/permute.hpp"
 #include "core/rotate.hpp"
+#include "util/aligned.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -38,7 +39,7 @@ TEST(Primitives, RowGatherAndScatterAreInverses) {
   std::vector<std::uint32_t> row(n);
   util::fill_iota(std::span<std::uint32_t>(row));
   const auto src = row;
-  std::vector<std::uint32_t> tmp(n);
+  util::aligned_vector<std::uint32_t> tmp(n);
   const auto idx = [n](std::uint64_t j) { return (j * 5 + 3) % n; };
   row_gather_inplace(row.data(), n, tmp.data(), idx);
   for (std::uint64_t j = 0; j < n; ++j) {
@@ -53,7 +54,7 @@ TEST(Primitives, ColumnGatherMatchesModel) {
   const std::uint64_t n = 5;
   auto a = util::iota_matrix<std::uint32_t>(m, n);
   const auto src = a;
-  std::vector<std::uint32_t> tmp(m);
+  util::aligned_vector<std::uint32_t> tmp(m);
   const auto idx = [m](std::uint64_t i) { return (i * 2 + 1) % m; };
   column_gather_inplace(a.data(), m, n, 3, tmp.data(), idx);
   for (std::uint64_t i = 0; i < m; ++i) {

@@ -2,14 +2,27 @@
 // (simd/vectorized.hpp): agreement with the scalar kernels for every
 // field count in the dispatch table, tail handling for counts that are
 // not lane multiples, round trips, and the fallback path.
+//
+// The second half sweeps the hot-path kernel dispatch layer
+// (cpu/kernels/) at the transpose level: every available tier must be
+// bit-exact against the out-of-place reference for every small shape and
+// element width, including with non-temporal streaming forced on, and
+// the INPLACE_FORCE_KERNEL_TIER override must steer planning.
 
 #include "simd/vectorized.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "core/executor.hpp"
+#include "cpu/kernels/kernel_set.hpp"
+#include "util/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -112,6 +125,185 @@ TEST(Vectorized, RandomizedAgainstScalar) {
     simd::aos_to_soa_vectorized(got.data(), aos.data(), count, fields);
     simd::aos_to_soa_direct(want.data(), aos.data(), count, fields);
     ASSERT_EQ(got, want) << count << "x" << fields;
+  }
+}
+
+// --- dispatch-tier transpose sweep (cpu/kernels/) ---------------------------
+
+using kernels::tier;
+
+/// Restores (or removes) an environment variable when the test exits.
+class env_guard {
+ public:
+  env_guard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~env_guard() {
+    if (old_) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  env_guard(const env_guard&) = delete;
+  env_guard& operator=(const env_guard&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+std::vector<tier> available_tiers() {
+  std::vector<tier> out;
+  for (tier t : {tier::scalar, tier::avx2, tier::avx512, tier::neon}) {
+    if (kernels::tier_available(t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+void fill_unique(std::vector<T>& v) {
+  for (std::size_t l = 0; l < v.size(); ++l) {
+    v[l] = static_cast<T>(l);
+  }
+}
+
+void fill_unique(std::vector<util::vec4f>& v) {
+  for (std::size_t l = 0; l < v.size(); ++l) {
+    const auto f = static_cast<float>(l);
+    v[l] = util::vec4f{f, f + 0.25f, f + 0.5f, f + 0.75f};
+  }
+}
+
+/// Transposes every m x n with m, n <= 64 through every available
+/// kernel tier, in both planning directions, and demands bit-exact
+/// agreement with the out-of-place reference.  Exhaustive by design: the
+/// dispatch boundaries (segment length vs. row_pass_min_segment, vector
+/// width vs. tail, gather-capable vs. byte-width elements) all fall
+/// inside this range.
+template <typename T>
+void exhaustive_tier_sweep() {
+  // The row-pass affine kernels normally wait for the scratch line to
+  // spill L2; force them on so the sweep exercises that path too.
+  const env_guard row_guard("INPLACE_ROW_KERNEL_MIN_LINE", "0");
+  for (const tier t : available_tiers()) {
+    for (const options::algorithm alg :
+         {options::algorithm::c2r, options::algorithm::r2c}) {
+      options opts;
+      opts.alg = alg;
+      opts.kernel = t;
+      for (std::size_t m = 1; m <= 64; ++m) {
+        for (std::size_t n = 1; n <= 64; ++n) {
+          std::vector<T> a(m * n);
+          fill_unique(a);
+          const std::vector<T> want = util::reference_transpose(
+              std::span<const T>(a), m, n);
+          transposer<T> tr(m, n, storage_order::row_major, opts);
+          ASSERT_EQ(tr.plan().ktier, t)
+              << "plan did not record the forced tier for " << m << "x" << n;
+          tr(a.data());
+          ASSERT_EQ(-1, util::first_mismatch(std::span<const T>(a),
+                                             std::span<const T>(want)))
+              << kernels::tier_name(t) << " "
+              << (alg == options::algorithm::c2r ? "c2r" : "r2c") << " "
+              << m << "x" << n << " elem=" << sizeof(T);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTierSweep, Width1) { exhaustive_tier_sweep<std::uint8_t>(); }
+TEST(KernelTierSweep, Width2) { exhaustive_tier_sweep<std::uint16_t>(); }
+TEST(KernelTierSweep, Width4) { exhaustive_tier_sweep<std::uint32_t>(); }
+TEST(KernelTierSweep, Width8) { exhaustive_tier_sweep<std::uint64_t>(); }
+TEST(KernelTierSweep, Width16) { exhaustive_tier_sweep<util::vec4f>(); }
+
+/// Forcing the streaming threshold to zero makes every plan take the
+/// non-temporal store paths (copy-backs, coarse rotation moves, fine
+/// rotation gathers), which normally need a >L3 working set; shapes here
+/// are chosen to hit skinny and blocked engines, gcd > 1 and coprime.
+template <typename T>
+void streaming_sweep() {
+  const env_guard guard("INPLACE_NT_THRESHOLD", "0");
+  const env_guard row_guard("INPLACE_ROW_KERNEL_MIN_LINE", "0");
+  const struct {
+    std::size_t m, n;
+  } shapes[] = {{97, 89}, {128, 96}, {211, 199}, {64, 64},
+                {63, 65}, {3, 500}, {500, 3},   {256, 64}};
+  for (const tier t : available_tiers()) {
+    options opts;
+    opts.kernel = t;
+    for (const auto& s : shapes) {
+      std::vector<T> a(s.m * s.n);
+      fill_unique(a);
+      const std::vector<T> want = util::reference_transpose(
+          std::span<const T>(a), s.m, s.n);
+      transposer<T> tr(s.m, s.n, storage_order::row_major, opts);
+      if (t == tier::avx2 || t == tier::avx512) {
+        ASSERT_TRUE(tr.plan().streaming_stores)
+            << "zero threshold must enable streaming on "
+            << kernels::tier_name(t);
+      } else {
+        ASSERT_FALSE(tr.plan().streaming_stores)
+            << kernels::tier_name(t) << " has no NT stores";
+      }
+      tr(a.data());
+      ASSERT_EQ(-1, util::first_mismatch(std::span<const T>(a),
+                                         std::span<const T>(want)))
+          << kernels::tier_name(t) << " streaming " << s.m << "x" << s.n
+          << " elem=" << sizeof(T);
+    }
+  }
+}
+
+TEST(KernelTierSweep, StreamingStoresForcedOnWidth4) {
+  streaming_sweep<std::uint32_t>();
+}
+TEST(KernelTierSweep, StreamingStoresForcedOnWidth8) {
+  streaming_sweep<std::uint64_t>();
+}
+TEST(KernelTierSweep, StreamingStoresForcedOnWidth16) {
+  streaming_sweep<util::vec4f>();
+}
+
+TEST(KernelTierSweep, EnvOverrideSteersPlanning) {
+  // Fresh transposer instances (not the default_context cache): the env
+  // override applies at plan time and is deliberately not part of the
+  // context cache key, so cached plans must not be consulted here.
+  const std::size_t m = 96;
+  const std::size_t n = 80;
+  {
+    const env_guard guard("INPLACE_FORCE_KERNEL_TIER", "scalar");
+    options opts;  // kernel stays automatic; the env must win
+    transposer<std::uint32_t> tr(m, n, storage_order::row_major, opts);
+    EXPECT_EQ(tr.plan().ktier, tier::scalar);
+    std::vector<std::uint32_t> a(m * n);
+    fill_unique(a);
+    const auto want =
+        util::reference_transpose(std::span<const std::uint32_t>(a), m, n);
+    tr(a.data());
+    EXPECT_EQ(-1, util::first_mismatch(std::span<const std::uint32_t>(a),
+                                       std::span<const std::uint32_t>(want)));
+  }
+  {
+    const env_guard guard("INPLACE_FORCE_KERNEL_TIER", "native");
+    options opts;
+    opts.kernel = tier::scalar;  // the env overrides even explicit requests
+    transposer<std::uint32_t> tr(m, n, storage_order::row_major, opts);
+    EXPECT_EQ(tr.plan().ktier, kernels::native_tier());
+  }
+  {
+    const env_guard guard("INPLACE_FORCE_KERNEL_TIER", "not-an-isa");
+    options opts;
+    opts.kernel = tier::scalar;
+    transposer<std::uint32_t> tr(m, n, storage_order::row_major, opts);
+    EXPECT_EQ(tr.plan().ktier, tier::scalar) << "unknown values are ignored";
   }
 }
 

@@ -44,7 +44,17 @@ run_matrix_entry() {
   echo "=== [$name] ctest ${test_filter:+(filter: $test_filter)}"
   local -a filter_args=()
   [[ -n "$test_filter" ]] && filter_args=(-R "$test_filter")
-  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" "${filter_args[@]}")
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" "${filter_args[@]}") \
+    || return 1
+
+  # Second pass with kernel dispatch pinned to the scalar tier: the engine
+  # suites must be clean no matter which tier the dispatcher picks.  The
+  # Kernel* suites stay in the default pass only — they assert on tier
+  # forcing themselves and would fight the override.
+  echo "=== [$name] ctest engines, INPLACE_FORCE_KERNEL_TIER=scalar"
+  (cd "$build_dir" && INPLACE_FORCE_KERNEL_TIER=scalar \
+     ctest --output-on-failure -j "$jobs" \
+           -R 'Transpose|Skinny|Integration|Executor|Primitives')
 }
 
 status=0
@@ -62,7 +72,7 @@ for entry in asan ubsan tsan; do
     tsan)
       TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:history_size=7" \
         run_matrix_entry tsan thread \
-        'Integration|Transpose|Executor|Skinny|Threading|Context|permcheck' \
+        'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck' \
         || status=1
       ;;
   esac

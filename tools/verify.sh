@@ -56,6 +56,11 @@ if [[ $bench -eq 1 ]]; then
   # Self-gating: exits nonzero if the warm loop performed any plan misses
   # or arena allocations (a plan-cache regression), regardless of timing.
   "$repo_root/build/bench/ablation_plan_cache" --scale 0.05 --no-json
+  echo "=== bench gate: kernel-dispatch ablation (tier bit-exactness)"
+  # Quick scale keeps every shape below L3, so the timing gate self-skips;
+  # the forced-scalar vs native-tier bit-exactness check runs in earnest.
+  # Full-scale speedup gate: build/bench/ablation_kernels (no --scale).
+  "$repo_root/build/bench/ablation_kernels" --scale 0.02 --no-json
 fi
 
 echo "=== verify.sh: all gates green"
