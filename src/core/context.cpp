@@ -31,45 +31,138 @@ std::size_t context_key_hash::operator()(
   return static_cast<std::size_t>(h);
 }
 
-context_workers::context_workers(std::size_t count) {
-  threads_.reserve(std::max<std::size_t>(1, count));
-  for (std::size_t k = 0; k < std::max<std::size_t>(1, count); ++k) {
-    threads_.emplace_back([this] { worker_loop(); });
+context_workers::context_workers(std::size_t count, std::size_t max_queue)
+    : max_queue_(std::max<std::size_t>(1, max_queue)) {
+  const std::size_t want = std::max<std::size_t>(1, count);
+  threads_.reserve(want);
+  try {
+    for (std::size_t k = 0; k < want; ++k) {
+      INPLACE_FAILPOINT("ctx.spawn");
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Partial spawn: stop and join the workers that did start, so the
+    // half-built pool never escapes the constructor with live threads.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    throw;
   }
 }
 
-context_workers::~context_workers() {
+context_workers::~context_workers() { shutdown(/*drain_pending=*/false); }
+
+void context_workers::enqueue(job j) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < max_queue_;
+    });
+    if (stopping_) {
+      throw context_shutdown(
+          "inplace: submit on a transpose_context whose async machinery "
+          "was shut down");
+    }
+    INPLACE_FAILPOINT("ctx.queue.push");
+    queue_.push_back(std::move(j));
   }
-  cv_.notify_all();
-  for (auto& t : threads_) {
-    t.join();
-  }
+  cv_work_.notify_one();
 }
 
-void context_workers::enqueue(std::function<void()> fn) {
+std::size_t context_workers::cancel_pending() {
+  std::deque<job> doomed;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    doomed.swap(queue_);
   }
-  cv_.notify_one();
+  cv_space_.notify_all();
+  return fail_jobs(std::move(doomed),
+                   "inplace: async transpose cancelled before execution "
+                   "(transpose_context::cancel_pending)");
+}
+
+std::size_t context_workers::shutdown(bool drain_pending) {
+  std::deque<job> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      if (!drain_pending) {
+        doomed.swap(queue_);
+      }
+    }
+    // Already stopping: a concurrent shutdown owns the queue decision;
+    // fall through to the join so both calls return with workers dead.
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  const std::size_t failed = fail_jobs(
+      std::move(doomed),
+      "inplace: async transpose abandoned by context shutdown before it "
+      "started (transpose_context::shutdown(drain_pending=false))");
+  {
+    std::lock_guard<std::mutex> jlock(join_mu_);
+    for (auto& t : threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+  return failed;
+}
+
+std::size_t context_workers::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t context_workers::fail_jobs(std::deque<job>&& doomed,
+                                       const char* what) {
+  if (doomed.empty()) {
+    return 0;
+  }
+  const std::exception_ptr reason =
+      std::make_exception_ptr(context_shutdown(what));
+  for (auto& j : doomed) {
+    j(reason);  // settles the job's promise with context_shutdown
+  }
+  const std::size_t n = doomed.size();
+  doomed.clear();
+  return n;
 }
 
 void context_workers::worker_loop() {
   for (;;) {
-    std::function<void()> fn;
+    job fn;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stop requested and nothing pending
       }
       fn = std::move(queue_.front());
       queue_.pop_front();
     }
-    fn();  // packaged_task captures any exception into its future
+    cv_space_.notify_one();
+    // "ctx.worker.job" models a worker-side fault before the job body
+    // runs (e.g. a TLS or pool-resource failure): the job still settles
+    // its future — with the injected exception — instead of vanishing.
+    std::exception_ptr poison;
+#if defined(INPLACE_FAILPOINTS)
+    try {
+      INPLACE_FAILPOINT("ctx.worker.job");
+    } catch (...) {
+      poison = std::current_exception();
+    }
+#endif
+    fn(poison);  // the closure captures any exception into its future
   }
 }
 
@@ -79,9 +172,14 @@ transpose_context::transpose_context(const context_options& copts)
     : max_plans_(std::max<std::size_t>(1, copts.max_plans)),
       max_arenas_per_plan_(std::max<std::size_t>(1, copts.max_arenas_per_plan)),
       max_cached_bytes_(copts.max_cached_bytes),
-      worker_count_(copts.workers) {}
+      worker_count_(copts.workers),
+      max_queue_(std::max<std::size_t>(1, copts.max_queue)) {}
 
-transpose_context::~transpose_context() = default;
+transpose_context::~transpose_context() {
+  // Deterministic teardown: fail queued jobs, finish in-flight ones, join
+  // the workers.  Every future submit() ever returned is settled by now.
+  shutdown(/*drain_pending=*/false);
+}
 
 std::shared_ptr<detail::context_entry> transpose_context::acquire_entry(
     const detail::context_key& key, bool& hit) {
@@ -137,6 +235,8 @@ context_stats transpose_context::stats() const {
   s.arenas_reused = arenas_reused_.load(std::memory_order_relaxed);
   s.arenas_dropped = arenas_dropped_.load(std::memory_order_relaxed);
   s.async_jobs = async_jobs_.load(std::memory_order_relaxed);
+  s.arenas_degraded = arenas_degraded_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -156,8 +256,41 @@ void transpose_context::clear() {
   }
 }
 
+void transpose_context::shutdown(bool drain_pending) {
+  detail::context_workers* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    shutdown_ = true;  // later submit()s fail before touching the pool
+    pool = workers_.get();
+  }
+  if (pool == nullptr) {
+    return;  // never went async; nothing to stop
+  }
+  const std::size_t failed = pool->shutdown(drain_pending);
+  jobs_cancelled_.fetch_add(failed, std::memory_order_relaxed);
+}
+
+std::size_t transpose_context::cancel_pending() {
+  detail::context_workers* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    pool = workers_.get();
+  }
+  if (pool == nullptr) {
+    return 0;
+  }
+  const std::size_t failed = pool->cancel_pending();
+  jobs_cancelled_.fetch_add(failed, std::memory_order_relaxed);
+  return failed;
+}
+
 detail::context_workers& transpose_context::workers() {
-  std::call_once(workers_once_, [this] {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (shutdown_) {
+    throw context_shutdown(
+        "inplace: submit on a transpose_context after shutdown()");
+  }
+  if (!workers_) {
     std::size_t count = worker_count_;
     if (count == 0) {
       // Small default: enough to overlap planning/allocation with engine
@@ -165,8 +298,8 @@ detail::context_workers& transpose_context::workers() {
       count = std::clamp<std::size_t>(
           static_cast<std::size_t>(util::hardware_threads()), 2, 4);
     }
-    workers_ = std::make_unique<detail::context_workers>(count);
-  });
+    workers_ = std::make_unique<detail::context_workers>(count, max_queue_);
+  }
   return *workers_;
 }
 

@@ -43,6 +43,7 @@
 
 #include "core/errors.hpp"
 #include "core/executor.hpp"
+#include "core/failpoint.hpp"
 
 namespace inplace {
 
@@ -65,6 +66,12 @@ struct context_options {
   /// default.  Workers start lazily on the first async call — a context
   /// used synchronously never spawns threads.
   std::size_t workers = 0;
+
+  /// Bounded-queue backpressure for the async entry points: submit()
+  /// blocks while this many jobs are already queued (clamped to at least
+  /// 1).  Keeps a producer that outruns the workers from growing the
+  /// queue — and the set of outstanding futures — without bound.
+  std::size_t max_queue = 1024;
 };
 
 /// Monotonic counters describing a context's cache behavior.
@@ -77,6 +84,12 @@ struct context_stats {
   std::uint64_t arenas_reused = 0;   ///< warm checkouts (no allocation)
   std::uint64_t arenas_dropped = 0;  ///< not recycled (cap or exception)
   std::uint64_t async_jobs = 0;      ///< submit()/batch jobs enqueued
+  /// Arenas whose scratch acquisition landed below scratch_rung::full
+  /// (the OOM degradation ladder engaged while building them).
+  std::uint64_t arenas_degraded = 0;
+  /// Async jobs failed with context_shutdown before they ran (shutdown
+  /// with drain_pending=false, or cancel_pending()).
+  std::uint64_t jobs_cancelled = 0;
 };
 
 /// One matrix in a transpose_batch() call.
@@ -149,26 +162,66 @@ struct context_entry {
   std::vector<std::pair<std::shared_ptr<void>, std::size_t>> arenas;
 };
 
-/// FIFO worker pool backing submit()/transpose_batch().  Started lazily
-/// by the owning context; joined on destruction after draining nothing —
-/// pending tasks still run before the workers exit.
+/// FIFO worker pool backing submit()/transpose_batch(), with bounded
+/// backpressure and deterministic shutdown.
+///
+/// Lifecycle contract: every job that enters the queue is *settled*
+/// exactly once — run by a worker, or failed (invoked with a non-null
+/// exception_ptr) by shutdown(drain=false)/cancel_pending().  Jobs are
+/// closures over a promise, so "settled" means the caller's future never
+/// dangles unsatisfied, however the pool goes down.
 class context_workers {
  public:
-  explicit context_workers(std::size_t count);
+  /// One queued job.  Invoked with a null exception_ptr to run normally,
+  /// or with the failure reason to satisfy its promise with — either
+  /// way, the job must settle its future and must not throw.
+  using job = std::function<void(std::exception_ptr)>;
+
+  /// Spawns `count` workers (at least 1).  If a thread fails to start,
+  /// the already-started workers are stopped and joined before the
+  /// exception propagates — no half-alive pool escapes.
+  context_workers(std::size_t count, std::size_t max_queue);
+
+  /// Equivalent to shutdown(/*drain_pending=*/false): queued-but-
+  /// unstarted jobs fail with context_shutdown, in-flight jobs finish,
+  /// workers join.
   ~context_workers();
   context_workers(const context_workers&) = delete;
   context_workers& operator=(const context_workers&) = delete;
 
-  void enqueue(std::function<void()> fn);
+  /// Enqueues a job, blocking while the queue is at max_queue
+  /// (backpressure).  Throws context_shutdown once shutdown began; the
+  /// job is then untouched (the caller still holds it and must settle
+  /// its own promise — transpose_context::submit simply propagates).
+  void enqueue(job j);
+
+  /// Fails every queued-but-unstarted job with context_shutdown
+  /// ("cancelled") without stopping the pool.  Returns how many.
+  std::size_t cancel_pending();
+
+  /// Stops the pool: no further enqueues succeed.  drain_pending=true
+  /// runs the queued jobs first; false fails them with context_shutdown.
+  /// In-flight jobs always finish.  Joins the workers; idempotent and
+  /// safe to call concurrently.  Returns how many jobs were failed.
+  std::size_t shutdown(bool drain_pending);
+
+  /// Jobs queued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t pending() const;
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  /// Settles `doomed` with a context_shutdown carrying `what`.
+  static std::size_t fail_jobs(std::deque<job>&& doomed, const char* what);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers: work available / stopping
+  std::condition_variable cv_space_;  ///< producers: queue below the bound
+  std::deque<job> queue_;
+  bool stopping_ = false;
+  std::size_t max_queue_;
   std::vector<std::thread> threads_;
+  std::mutex join_mu_;  ///< serializes the join in concurrent shutdowns
 };
 
 }  // namespace detail
@@ -207,18 +260,39 @@ class transpose_context {
   /// pool and returns a future that completes (or carries the exception)
   /// when the transposition finishes.  The buffer must stay alive and
   /// unaliased until then.
+  ///
+  /// Lifecycle guarantees: blocks while context_options::max_queue jobs
+  /// are already pending (backpressure); throws context_shutdown — with
+  /// the job never queued and the buffer untouched — once shutdown()
+  /// ran or the context is being destroyed.  Every future this returns
+  /// is eventually satisfied: with a value, the job's own exception, or
+  /// context_shutdown if the context went down before the job started.
   template <typename T>
   [[nodiscard]] std::future<void> submit(
       T* data, std::size_t rows, std::size_t cols,
       storage_order order = storage_order::row_major,
       const options& opts = {}) {
-    auto task = std::make_shared<std::packaged_task<void()>>(
-        [this, data, rows, cols, order, opts] {
-          this->transpose(data, rows, cols, order, opts);
-        });
-    std::future<void> fut = task->get_future();
+    auto done = std::make_shared<std::promise<void>>();
+    std::future<void> fut = done->get_future();
+    detail::context_workers::job body =
+        [this, done, data, rows, cols, order, opts](
+            std::exception_ptr abort) {
+          if (abort) {
+            done->set_exception(abort);
+            return;
+          }
+          try {
+            this->transpose(data, rows, cols, order, opts);
+            done->set_value();
+          } catch (...) {
+            done->set_exception(std::current_exception());
+          }
+        };
+    // May block (backpressure) or throw context_shutdown; on throw the
+    // closure — and with it the promise — is discarded along with `fut`,
+    // which submit's caller never receives.
+    workers().enqueue(std::move(body));
     async_jobs_.fetch_add(1, std::memory_order_relaxed);
-    workers().enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -256,6 +330,20 @@ class transpose_context {
   /// Drops every cached plan and arena (in-flight executions finish on
   /// the arenas they hold).  Counters are not reset.
   void clear();
+
+  /// Stops the async machinery deterministically: no further submit()
+  /// succeeds (context_shutdown), in-flight jobs finish, and
+  /// queued-but-unstarted jobs either run (drain_pending=true) or fail
+  /// their futures with context_shutdown (default).  Either way every
+  /// outstanding future is satisfied when this returns.  Idempotent;
+  /// the destructor calls shutdown(false) implicitly.  Synchronous
+  /// entry points (transpose/c2r/r2c) keep working after shutdown.
+  void shutdown(bool drain_pending = false);
+
+  /// Fails every queued-but-unstarted async job with context_shutdown,
+  /// without shutting the context down (later submits still work).
+  /// In-flight jobs are not interrupted.  Returns how many were failed.
+  std::size_t cancel_pending();
 
  private:
   static constexpr std::uint8_t mode_transpose = 0;
@@ -331,6 +419,12 @@ class transpose_context {
         delete static_cast<transposer<T>*>(p);
       });
       arenas_created_.fetch_add(1, std::memory_order_relaxed);
+      if (static_cast<transposer<T>*>(arena.get())->plan().rung !=
+          scratch_rung::full) {
+        // Scratch acquisition walked the OOM ladder while building this
+        // arena — surface the pressure episode in the stats.
+        arenas_degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     auto* tr = static_cast<transposer<T>*>(arena.get());
 
@@ -353,12 +447,17 @@ class transpose_context {
           retained_bytes_.load(std::memory_order_relaxed) + bytes <=
               max_cached_bytes_) {
         entry->arenas.emplace_back(std::move(arena), bytes);
+        // The byte accounting must happen under entry->mu, before the
+        // arena is visible to eviction: with the old add-after-unlock
+        // ordering, a concurrent evict_locked could fetch_sub this
+        // arena's bytes *between* the push and the fetch_add, and
+        // retained_bytes_ underflowed (wrapping to ~SIZE_MAX, which then
+        // blocked all future recycling against max_cached_bytes_).
+        retained_bytes_.fetch_add(bytes, std::memory_order_relaxed);
         recycled = true;
       }
     }
-    if (recycled) {
-      retained_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    } else {
+    if (!recycled) {
       arenas_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -367,6 +466,7 @@ class transpose_context {
   std::size_t max_arenas_per_plan_;
   std::size_t max_cached_bytes_;
   std::size_t worker_count_;
+  std::size_t max_queue_;
 
   mutable std::mutex mu_;  ///< guards lru_/map_
   std::list<lru_node> lru_;
@@ -382,8 +482,14 @@ class transpose_context {
   std::atomic<std::uint64_t> arenas_reused_{0};
   std::atomic<std::uint64_t> arenas_dropped_{0};
   std::atomic<std::uint64_t> async_jobs_{0};
+  std::atomic<std::uint64_t> arenas_degraded_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
 
-  std::once_flag workers_once_;
+  /// Guards lazy worker start and the shutdown flag (a mutex, not a
+  /// once_flag: shutdown() must observe and stop a pool that a racing
+  /// submit() is still creating).
+  std::mutex workers_mu_;
+  bool shutdown_ = false;
   std::unique_ptr<detail::context_workers> workers_;
 };
 

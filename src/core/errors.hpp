@@ -14,6 +14,16 @@ class error : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Thrown by the async entry points when a transpose_context is shut
+/// down: submit() after shutdown, and every queued-but-unstarted job's
+/// future when the context is destroyed or cancelled before the job ran.
+/// Not an inplace::error — the arguments were fine; the context's
+/// lifecycle ended first.  The job's buffer is untouched.
+class context_shutdown : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 /// Validates an (rows, cols) extent pair against a data pointer and returns

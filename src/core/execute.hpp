@@ -4,14 +4,33 @@
 // plan-reusing transposer (core/executor.hpp) and the context's cached
 // entries.  Split out of transpose.hpp so context.hpp can reuse the
 // machinery without a circular include.
+//
+// This header also owns the two halves of the failure-semantics layer
+// that sit between the entry points and the engines:
+//
+//   * acquire_scratch — workspace acquisition walks a degradation ladder
+//     under memory pressure instead of failing: full Theorem 6 scratch →
+//     a reduced serial footprint → the O(1)-auxiliary-space
+//     cycle-following fallback (baselines/cycle_follow.hpp), recording
+//     the rung in the plan and telemetry;
+//   * rollback_stages — when an engine throws at a stage boundary, the
+//     inverses of the completed passes run in reverse order (each pass
+//     of the decomposition is a bijection whose inverse is the matching
+//     pass of the opposite direction, Theorems 1-2), restoring the
+//     caller's buffer bit-exactly before the exception continues.
 
 #include <cstddef>
+#include <new>
+#include <optional>
 
+#include "baselines/cycle_follow.hpp"
 #include "core/contracts.hpp"
 #include "core/equations.hpp"
 #include "core/errors.hpp"
+#include "core/failpoint.hpp"
 #include "core/layout.hpp"
 #include "core/plan.hpp"
+#include "core/recovery.hpp"
 #include "core/telemetry.hpp"
 #include "cpu/engine_blocked.hpp"
 #include "cpu/engine_reference.hpp"
@@ -48,80 +67,290 @@ inline void note_plan_record([[maybe_unused]] const transpose_plan& plan,
     rec.threads_active = probe.active;
     rec.threads_honored = probe.honored;
     rec.from_cache = from_cache;
+    rec.rung = rung_name(plan.rung);
     INPLACE_TELEMETRY_PLAN(rec);
   }
 #endif
 }
 
+/// The scratch an execution owns: at most one of the two members is
+/// engaged (pool for the blocked engine, ws for reference/skinny); both
+/// stay empty on the cycle_follow rung and for degenerate shapes.
+template <typename T>
+struct scratch_bundle {
+  std::optional<workspace<T>> ws;
+  std::optional<workspace_pool<T>> pool;
+};
+
+/// Acquires engine scratch for `plan`, walking the OOM degradation
+/// ladder on std::bad_alloc:
+///
+///   full         — Theorem 6 scratch, one workspace per thread
+///   reduced      — serial (threads = 1), minimum sub-row width, a
+///                  single workspace
+///   cycle_follow — no scratch at all; the executor dispatches to the
+///                  O(1)-space cycle-following permutation instead of
+///                  the planned engine
+///
+/// Demotion rewrites the plan to match (rung, threads, block_width), so
+/// everything downstream — engines, telemetry, cached_bytes — sees a
+/// self-consistent plan.  Exceptions other than bad_alloc (including
+/// injected_fault from the failpoints below) propagate untouched, with
+/// the caller's buffer untouched too: nothing has run yet.
+template <typename T>
+scratch_bundle<T> acquire_scratch(transpose_plan& plan) {
+  scratch_bundle<T> bundle;
+  if (plan.m <= 1 || plan.n <= 1) {
+    return bundle;
+  }
+  try {
+    INPLACE_FAILPOINT("exec.alloc.full");
+    if (plan.engine == engine_kind::blocked) {
+      bundle.pool.emplace(plan.m, plan.n, plan.block_width, plan.threads);
+    } else {
+      bundle.ws.emplace();
+      if (plan.engine == engine_kind::skinny) {
+        reserve_skinny(*bundle.ws, plan.m, plan.n);
+      } else {
+        bundle.ws->reserve(plan.m, plan.n, plan.block_width);
+      }
+    }
+    plan.rung = scratch_rung::full;
+    return bundle;
+  } catch (const std::bad_alloc&) {
+    bundle.ws.reset();
+    bundle.pool.reset();
+  }
+  try {
+    INPLACE_FAILPOINT("exec.alloc.reduced");
+    plan.threads = 1;
+    if (plan.engine == engine_kind::blocked) {
+      plan.block_width = 4;  // the planner's floor — minimum sub-row
+      bundle.pool.emplace(plan.m, plan.n, plan.block_width,
+                          serial_workspace_tag{});
+    } else {
+      bundle.ws.emplace();
+      if (plan.engine == engine_kind::skinny) {
+        reserve_skinny(*bundle.ws, plan.m, plan.n);
+      } else {
+        plan.block_width = 4;
+        bundle.ws->reserve(plan.m, plan.n, plan.block_width);
+      }
+    }
+    plan.rung = scratch_rung::reduced;
+    return bundle;
+  } catch (const std::bad_alloc&) {
+    bundle.ws.reset();
+    bundle.pool.reset();
+  }
+  // Last rung: no allocation at all.  The failpoint lets tests forbid
+  // even this rung, proving the caller's buffer survives a full ladder
+  // failure untouched.
+  INPLACE_FAILPOINT("exec.rung.cycle_follow");
+  plan.threads = 1;
+  plan.rung = scratch_rung::cycle_follow;
+  return bundle;
+}
+
+/// Executes a cycle_follow-rung plan: the strictly in-place directed
+/// permutation, serial, no scratch (Dudek et al.'s problem class; the
+/// paper's introduction's cycle-following baseline).
+template <typename T>
+void run_cycle_follow(T* data, const transpose_plan& plan) {
+  baselines::cycle_following_permute_limited(
+      data, plan.m, plan.n, plan.dir == direction::c2r);
+}
+
+/// Restores the caller's buffer after a stage-boundary failure by
+/// replaying the inverses of the completed passes in reverse order.
+/// Best-effort by design: if the buffer is mid-pass (prog.in_flight) or
+/// an inverse pass itself fails, the buffer is left as-is — the
+/// documented "unrecoverable" row of the failure taxonomy (DESIGN.md
+/// §11).  Never throws.
 template <typename T, typename Math>
-void run_with_math(T* data, const Math& mm, const transpose_plan& plan) {
-  INPLACE_REQUIRE(mm.m == plan.m && mm.n == plan.n,
-                  "index math shape does not match the plan");
-  switch (plan.engine) {
-    case engine_kind::reference: {
-      workspace<T> ws;
-      ws.reserve(mm.m, mm.n, plan.block_width);
-      if (plan.dir == direction::c2r) {
-        c2r_reference(data, mm, ws);
-      } else {
-        r2c_reference(data, mm, ws);
-      }
-      break;
+void rollback_stages(T* data, const Math& mm, const transpose_plan& plan,
+                     workspace<T>* ws, workspace_pool<T>* pool,
+                     const stage_progress& prog) {
+  if (!prog.dirty() || !prog.at_boundary()) {
+    return;
+  }
+  const bool fwd_c2r = plan.dir == direction::c2r;
+  try {
+    // The inverse passes run with the plan's threading (the pool is
+    // sized for it) and without kernels/streaming: rollback is a cold
+    // path where simplicity beats throughput.
+    util::thread_count_guard guard(plan.threads);
+    if (pool != nullptr) {
+      pool->ensure(util::hardware_threads());
     }
-    case engine_kind::skinny: {
-      workspace<T> ws;
-      reserve_skinny(ws, mm.m, mm.n);
-      const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
-      if (plan.dir == direction::c2r) {
-        c2r_skinny(data, mm, ws, nullptr, &ks, plan.streaming_stores);
-      } else {
-        r2c_skinny(data, mm, ws, nullptr, &ks, plan.streaming_stores);
+    for (std::size_t k = prog.completed; k-- > 0;) {
+      switch (prog.done[k]) {
+        case stage_id::prerotate:
+          if (pool != nullptr) {
+            if (fwd_c2r) {
+              rotate_all_parallel(
+                  data, mm.m, mm.n, plan.block_width,
+                  [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); },
+                  *pool);
+            } else {
+              rotate_all_parallel(
+                  data, mm.m, mm.n, plan.block_width,
+                  [&](std::uint64_t j) { return mm.prerotate_offset(j); },
+                  *pool);
+            }
+          } else if (fwd_c2r) {
+            reference_prerotate_inv(data, mm, *ws);
+          } else {
+            reference_prerotate(data, mm, *ws);
+          }
+          break;
+        case stage_id::row_shuffle:
+          if (pool != nullptr) {
+            if (fwd_c2r) {
+              r2c_row_pass(data, mm, *pool);
+            } else {
+              c2r_row_pass(data, mm, *pool);
+            }
+          } else if (fwd_c2r) {
+            reference_row_gather(data, mm, *ws);
+          } else {
+            reference_row_scatter(data, mm, *ws);
+          }
+          break;
+        case stage_id::col_shuffle:
+          if (pool != nullptr) {
+            if (fwd_c2r) {
+              r2c_col_shuffle(data, mm, plan.block_width, *pool);
+            } else {
+              c2r_col_shuffle(data, mm, plan.block_width, *pool);
+            }
+          } else if (fwd_c2r) {
+            reference_col_shuffle_inv(data, mm, *ws);
+          } else {
+            reference_col_shuffle(data, mm, *ws);
+          }
+          break;
+        case stage_id::skinny_fused_row:
+          if (fwd_c2r) {
+            skinny_fused_gather(data, mm, *ws, nullptr, false);
+          } else {
+            skinny_fused_scatter(data, mm, *ws, nullptr, false);
+          }
+          break;
+        case stage_id::skinny_rotation:
+          if (fwd_c2r) {
+            skinny_rotate_p_inv(data, mm, *ws, nullptr, false);
+          } else {
+            skinny_rotate_p(data, mm, *ws, nullptr, false);
+          }
+          break;
+        case stage_id::skinny_permute:
+          // No memo: the inverse permutation's cycles differ from the
+          // forward memo the engine may hold.
+          if (fwd_c2r) {
+            skinny_permute_q_inv(data, mm, *ws, nullptr, nullptr, false);
+          } else {
+            skinny_permute_q(data, mm, *ws, nullptr, nullptr, false);
+          }
+          break;
       }
-      break;
     }
-    case engine_kind::blocked:
-      if (plan.dir == direction::c2r) {
-        c2r_blocked(data, mm, plan);
-      } else {
-        r2c_blocked(data, mm, plan);
-      }
-      break;
-    case engine_kind::automatic:
-      // make_plan/make_directed_plan guarantee a concrete engine (plan
-      // postcondition); an unresolved plan here is forged or corrupted.
-      // Fail loudly instead of silently picking an engine.
-      INPLACE_CHECK(false,
-                    "unresolved engine_kind::automatic reached the executor");
-      throw error(
-          "inplace: plan with unresolved engine_kind::automatic reached "
-          "the executor (plans must come from make_plan/make_directed_"
-          "plan/make_plan_for_shape)");
+  } catch (...) {
+    // Swallowed: the original exception (in flight in the caller) is the
+    // one the user must see; a failed rollback downgrades the guarantee
+    // from "restored" to "left at a stage boundary", never hides errors.
   }
 }
 
-/// One-shot (uncached) execution: builds fresh workspaces, runs, frees.
+/// Runs the planned engine on caller-provided scratch, with
+/// stage-boundary rollback: if the engine throws between passes, the
+/// completed passes are inverted before the exception continues, so the
+/// caller's buffer is restored to its input state.
+template <typename T, typename Math>
+void run_with_math(T* data, const Math& mm, const transpose_plan& plan,
+                   scratch_bundle<T>& scratch) {
+  INPLACE_REQUIRE(mm.m == plan.m && mm.n == plan.n,
+                  "index math shape does not match the plan");
+  stage_progress prog;
+  try {
+    switch (plan.engine) {
+      case engine_kind::reference:
+        if (plan.dir == direction::c2r) {
+          c2r_reference(data, mm, *scratch.ws, nullptr, &prog);
+        } else {
+          r2c_reference(data, mm, *scratch.ws, nullptr, &prog);
+        }
+        break;
+      case engine_kind::skinny: {
+        const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
+        if (plan.dir == direction::c2r) {
+          c2r_skinny(data, mm, *scratch.ws, nullptr, &ks,
+                     plan.streaming_stores, &prog);
+        } else {
+          r2c_skinny(data, mm, *scratch.ws, nullptr, &ks,
+                     plan.streaming_stores, &prog);
+        }
+        break;
+      }
+      case engine_kind::blocked:
+        if (plan.dir == direction::c2r) {
+          c2r_blocked(data, mm, plan, *scratch.pool, nullptr, &prog);
+        } else {
+          r2c_blocked(data, mm, plan, *scratch.pool, nullptr, &prog);
+        }
+        break;
+      case engine_kind::automatic:
+        // make_plan/make_directed_plan guarantee a concrete engine (plan
+        // postcondition); an unresolved plan here is forged or corrupted.
+        // Fail loudly instead of silently picking an engine.
+        INPLACE_CHECK(false,
+                      "unresolved engine_kind::automatic reached the executor");
+        throw error(
+            "inplace: plan with unresolved engine_kind::automatic reached "
+            "the executor (plans must come from make_plan/make_directed_"
+            "plan/make_plan_for_shape)");
+    }
+  } catch (...) {
+    rollback_stages(data, mm, plan,
+                    scratch.ws.has_value() ? &*scratch.ws : nullptr,
+                    scratch.pool.has_value() ? &*scratch.pool : nullptr,
+                    prog);
+    throw;
+  }
+}
+
+/// One-shot (uncached) execution: builds fresh workspaces (degrading
+/// under memory pressure), runs with rollback protection, frees.
 template <typename T>
-void execute_plan(T* data, const transpose_plan& plan) {
+void execute_plan(T* data, const transpose_plan& plan_in) {
   // Degenerate shapes: a 1 x n or m x 1 matrix transposes to the identical
   // buffer, and the permutation equations degenerate with it.  Still a
   // real execution, though — record the plan and the total span so bench
   // JSON does not silently undercount 1 x n / m x 1 calls.
-  if (plan.m <= 1 || plan.n <= 1) {
-    note_plan_record<T>(plan);
+  if (plan_in.m <= 1 || plan_in.n <= 1) {
+    note_plan_record<T>(plan_in);
     INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
-                           2 * plan.m * plan.n * sizeof(T), 0);
+                           2 * plan_in.m * plan_in.n * sizeof(T), 0);
     return;
   }
+  transpose_plan plan = plan_in;
+  scratch_bundle<T> scratch = acquire_scratch<T>(plan);
   note_plan_record<T>(plan);
   INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
                          2 * plan.m * plan.n * sizeof(T),
-                         plan.scratch_elements() * sizeof(T));
+                         plan.rung == scratch_rung::cycle_follow
+                             ? 0
+                             : plan.scratch_elements() * sizeof(T));
+  if (plan.rung == scratch_rung::cycle_follow) {
+    run_cycle_follow(data, plan);
+    return;
+  }
   if (plan.strength_reduction) {
     const transpose_math<fast_divmod> mm(plan.m, plan.n);
-    run_with_math(data, mm, plan);
+    run_with_math(data, mm, plan, scratch);
   } else {
     const transpose_math<plain_divmod> mm(plan.m, plan.n);
-    run_with_math(data, mm, plan);
+    run_with_math(data, mm, plan, scratch);
   }
 }
 

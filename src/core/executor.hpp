@@ -35,6 +35,8 @@ class transposer {
   /// per shape and constructs arenas from it directly, skipping repeated
   /// planning).  The plan must come from make_plan/make_directed_plan/
   /// make_plan_for_shape — the executor refuses unresolved engines.
+  /// Scratch acquisition walks the OOM degradation ladder (see
+  /// detail::acquire_scratch); plan().rung reports where it landed.
   explicit transposer(const transpose_plan& plan) : plan_(plan) {
     if (plan_.m > 1 && plan_.n > 1) {
       if (plan_.strength_reduction) {
@@ -42,16 +44,9 @@ class transposer {
       } else {
         plain_math_.emplace(plan_.m, plan_.n);
       }
-      if (plan_.engine == engine_kind::blocked) {
-        pool_.emplace(plan_.m, plan_.n, plan_.block_width, plan_.threads);
-      } else {
-        ws_.emplace();
-        if (plan_.engine == engine_kind::skinny) {
-          detail::reserve_skinny(*ws_, plan_.m, plan_.n);
-        } else {
-          ws_->reserve(plan_.m, plan_.n, plan_.block_width);
-        }
-      }
+      detail::scratch_bundle<T> scratch = detail::acquire_scratch<T>(plan_);
+      ws_ = std::move(scratch.ws);
+      pool_ = std::move(scratch.pool);
     }
   }
 
@@ -74,6 +69,16 @@ class transposer {
                              2 * plan_.m * plan_.n * sizeof(T), 0);
       return;
     }
+    if (plan_.rung == scratch_rung::cycle_follow) {
+      // Construction could not obtain even the reduced scratch: run the
+      // strictly in-place O(1)-space fallback instead of the planned
+      // engine (no workspaces exist to hand it).
+      detail::note_plan_record<T>(plan_, from_cache);
+      INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                             2 * plan_.m * plan_.n * sizeof(T), 0);
+      detail::run_cycle_follow(data, plan_);
+      return;
+    }
     if (fast_math_) {
       run(data, *fast_math_, from_cache);
     } else {
@@ -87,7 +92,9 @@ class transposer {
   [[nodiscard]] std::size_t cached_bytes() const {
     const auto per_ws =
         static_cast<std::size_t>(plan_.scratch_elements()) * sizeof(T);
-    std::size_t total = per_ws;
+    // On the cycle_follow rung neither scratch member exists: the arena
+    // retains only the (empty) memo capacity.
+    std::size_t total = ws_ ? per_ws : 0;
     if (pool_) {
       total = per_ws * std::max<std::size_t>(1, pool_->size());
     }
@@ -114,45 +121,55 @@ class transposer {
     INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
                            2 * plan_.m * plan_.n * sizeof(T),
                            plan_.scratch_elements() * sizeof(T));
-    switch (plan_.engine) {
-      case engine_kind::reference:
-        if (plan_.dir == direction::c2r) {
-          detail::c2r_reference(data, mm, *ws_);
-        } else {
-          detail::r2c_reference(data, mm, *ws_);
+    detail::stage_progress prog;
+    try {
+      switch (plan_.engine) {
+        case engine_kind::reference:
+          if (plan_.dir == direction::c2r) {
+            detail::c2r_reference(data, mm, *ws_, nullptr, &prog);
+          } else {
+            detail::r2c_reference(data, mm, *ws_, nullptr, &prog);
+          }
+          break;
+        case engine_kind::skinny: {
+          // The cycle memo makes the second and later executions skip the
+          // row-permutation cycle discovery entirely (the cycles depend
+          // only on the plan's shape and direction, which are fixed here).
+          const kernels::kernel_set& ks = kernels::set_for(plan_.ktier);
+          if (plan_.dir == direction::c2r) {
+            detail::c2r_skinny(data, mm, *ws_, &memo_, &ks,
+                               plan_.streaming_stores, &prog);
+          } else {
+            detail::r2c_skinny(data, mm, *ws_, &memo_, &ks,
+                               plan_.streaming_stores, &prog);
+          }
+          break;
         }
-        break;
-      case engine_kind::skinny: {
-        // The cycle memo makes the second and later executions skip the
-        // row-permutation cycle discovery entirely (the cycles depend only
-        // on the plan's shape and direction, which are fixed here).
-        const kernels::kernel_set& ks = kernels::set_for(plan_.ktier);
-        if (plan_.dir == direction::c2r) {
-          detail::c2r_skinny(data, mm, *ws_, &memo_, &ks,
-                             plan_.streaming_stores);
-        } else {
-          detail::r2c_skinny(data, mm, *ws_, &memo_, &ks,
-                             plan_.streaming_stores);
-        }
-        break;
+        case engine_kind::blocked:
+          if (plan_.dir == direction::c2r) {
+            detail::c2r_blocked(data, mm, plan_, *pool_, &col_memo_, &prog);
+          } else {
+            detail::r2c_blocked(data, mm, plan_, *pool_, &col_memo_, &prog);
+          }
+          break;
+        case engine_kind::automatic:
+          // The constructor's make_plan_for_shape resolves `automatic`
+          // (plan postcondition); reaching this case means plan_ was
+          // corrupted after construction.  Fail loudly instead of silently
+          // running the blocked engine.
+          INPLACE_CHECK(
+              false, "unresolved engine_kind::automatic reached the executor");
+          throw error(
+              "inplace: transposer plan corrupted — unresolved "
+              "engine_kind::automatic at execution time");
       }
-      case engine_kind::blocked:
-        if (plan_.dir == direction::c2r) {
-          detail::c2r_blocked(data, mm, plan_, *pool_, &col_memo_);
-        } else {
-          detail::r2c_blocked(data, mm, plan_, *pool_, &col_memo_);
-        }
-        break;
-      case engine_kind::automatic:
-        // The constructor's make_plan_for_shape resolves `automatic`
-        // (plan postcondition); reaching this case means plan_ was
-        // corrupted after construction.  Fail loudly instead of silently
-        // running the blocked engine.
-        INPLACE_CHECK(
-            false, "unresolved engine_kind::automatic reached the executor");
-        throw error(
-            "inplace: transposer plan corrupted — unresolved "
-            "engine_kind::automatic at execution time");
+    } catch (...) {
+      // Stage-boundary failure: invert the completed passes so the
+      // caller's buffer leaves this frame restored, not scrambled.
+      detail::rollback_stages(data, mm, plan_,
+                              ws_.has_value() ? &*ws_ : nullptr,
+                              pool_.has_value() ? &*pool_ : nullptr, prog);
+      throw;
     }
   }
 

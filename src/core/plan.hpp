@@ -41,6 +41,29 @@ enum class engine_kind {
   return d == direction::c2r ? "c2r" : "r2c";
 }
 
+/// Which rung of the memory-pressure degradation ladder a plan's scratch
+/// acquisition landed on.  Planning always targets `full`; the executor
+/// walks down only when an allocation throws std::bad_alloc
+/// (see detail::acquire_scratch in core/execute.hpp).
+enum class scratch_rung : std::uint8_t {
+  full,         ///< Theorem 6 scratch, per-thread pool — the fast path
+  reduced,      ///< serial, minimum sub-row width, a single workspace
+  cycle_follow, ///< O(1)-auxiliary-space cycle following, no scratch
+};
+
+/// Stable display names (telemetry plan records, bench JSON).
+[[nodiscard]] constexpr const char* rung_name(scratch_rung r) {
+  switch (r) {
+    case scratch_rung::full:
+      return "full";
+    case scratch_rung::reduced:
+      return "reduced";
+    case scratch_rung::cycle_follow:
+      return "cycle_follow";
+  }
+  return "unknown";
+}
+
 /// User-facing knobs for the public API.
 struct options {
   /// Force a direction; `automatic` applies the paper's heuristic
@@ -89,6 +112,11 @@ struct transpose_plan {
   /// streaming stores: the tier has them and the working set exceeds the
   /// cache threshold probed at startup (kernels::streaming_threshold).
   bool streaming_stores = false;
+
+  /// Where scratch acquisition landed on the OOM degradation ladder.
+  /// Planning emits `full`; the executor demotes (and rewrites threads /
+  /// block_width to match) only when allocation fails.
+  scratch_rung rung = scratch_rung::full;
 
   /// Scratch elements the engines may allocate; Theorem 6's bound of
   /// max(m, n) plus the constant-size cache-aware buffers.

@@ -1,0 +1,82 @@
+#pragma once
+// Stage-boundary progress tracking for rollback-on-failure.
+//
+// The decomposition runs as a short sequence of bijective passes
+// (pre-rotation Eq. 23, row shuffle Eq. 24/31, column shuffle
+// Eq. 26/32-34; the skinny engine's three fused passes), and each pass
+// has an exact inverse — the corresponding pass of the opposite
+// direction (Theorems 1-2).  That structure gives failures a recovery
+// path: if execution throws *between* passes, re-running the inverses of
+// the completed passes, in reverse order, restores the caller's buffer
+// bit-exactly.  The engines record each completed pass in a
+// stage_progress; the executor's catch block replays the inverses before
+// rethrowing (detail::rollback_stages in core/execute.hpp).
+//
+// A failure *inside* a pass (in_flight == true) is not recoverable this
+// way — the pass's permutation is half-applied.  In practice the
+// interior of every pass is allocation-free straight-line loop code (all
+// allocations and all failpoints sit at stage boundaries), and an
+// exception inside an OpenMP parallel region would terminate the process
+// anyway, so the in-flight window carries no throw sites of its own.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace inplace::detail {
+
+/// The invertible passes an engine can complete (union over engines;
+/// each engine uses its own subset).
+enum class stage_id : std::uint8_t {
+  prerotate,         ///< Eq. 23 (or its inverse Eq. 36)
+  row_shuffle,       ///< Eq. 24 scatter / Eq. 31 gather
+  col_shuffle,       ///< Eq. 26 / Eqs. 32-34
+  skinny_fused_row,  ///< skinny pass: pre-rotation fused with row shuffle
+  skinny_rotation,   ///< skinny pass: rotation component p
+  skinny_permute,    ///< skinny pass: static row permutation q
+};
+
+/// Records which passes have fully completed on the caller's buffer.
+/// Fixed-capacity (no engine runs more than three passes) so recording
+/// progress can never itself allocate or throw.
+struct stage_progress {
+  static constexpr std::size_t max_stages = 4;
+  std::array<stage_id, max_stages> done{};
+  std::size_t completed = 0;
+  bool in_flight = false;
+  stage_id current = stage_id::prerotate;
+
+  void begin(stage_id s) noexcept {
+    current = s;
+    in_flight = true;
+  }
+  void end() noexcept {
+    if (completed < max_stages) {
+      done[completed++] = current;
+    }
+    in_flight = false;
+  }
+  /// True when the buffer no longer holds (exactly) the caller's input.
+  [[nodiscard]] bool dirty() const noexcept {
+    return completed > 0 || in_flight;
+  }
+  /// True when the buffer sits at a pass boundary — the rollback-able
+  /// states.
+  [[nodiscard]] bool at_boundary() const noexcept { return !in_flight; }
+};
+
+/// Null-tolerant helpers: engines take an optional stage_progress* so
+/// call sites that do not need rollback (benches, rollback itself) pass
+/// nothing and pay nothing.
+inline void begin_stage(stage_progress* p, stage_id s) noexcept {
+  if (p != nullptr) {
+    p->begin(s);
+  }
+}
+inline void end_stage(stage_progress* p) noexcept {
+  if (p != nullptr) {
+    p->end();
+  }
+}
+
+}  // namespace inplace::detail

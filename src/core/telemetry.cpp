@@ -22,7 +22,7 @@ bool same_plan(const plan_record& a, const plan_record& b) {
          a.threads_requested == b.threads_requested &&
          a.threads_active == b.threads_active &&
          a.threads_honored == b.threads_honored &&
-         a.from_cache == b.from_cache;
+         a.from_cache == b.from_cache && std::strcmp(a.rung, b.rung) == 0;
 }
 
 }  // namespace

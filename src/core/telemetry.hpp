@@ -85,6 +85,11 @@ struct plan_record {
   /// True when the execution reused a transpose_context cached plan (so
   /// warm/cold traffic separates cleanly in the dedup table).
   bool from_cache = false;
+  /// rung_name of the scratch-acquisition outcome: "full" on the fast
+  /// path, "reduced"/"cycle_follow" when the executor degraded under
+  /// memory pressure — degraded runs dedup separately so a pressure
+  /// episode is visible in bench JSON.
+  const char* rung = "";
 };
 
 /// Receiver for telemetry events.  Implementations must tolerate calls

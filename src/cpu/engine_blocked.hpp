@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "core/equations.hpp"
+#include "core/failpoint.hpp"
 #include "core/permute.hpp"
 #include "core/plan.hpp"
+#include "core/recovery.hpp"
 #include "core/rotate.hpp"
 #include "core/telemetry.hpp"
 #include "util/threads.hpp"
@@ -26,6 +28,11 @@
 #endif
 
 namespace inplace::detail {
+
+/// Tag selecting workspace_pool's single-workspace constructor (the OOM
+/// ladder's reduced rung: the plan is rewritten to threads = 1, so one
+/// workspace covers the whole — serial — team).
+struct serial_workspace_tag {};
 
 /// Per-thread scratch pool sized for one plan.
 template <typename T>
@@ -39,6 +46,13 @@ class workspace_pool {
                  int threads_hint = 0)
       : m_(m), n_(n), width_(width) {
     grow(std::max({util::hardware_threads(), threads_hint, 1}));
+  }
+
+  /// Minimum-footprint pool: exactly one workspace, for serial plans.
+  workspace_pool(std::uint64_t m, std::uint64_t n, std::uint64_t width,
+                 serial_workspace_tag)
+      : m_(m), n_(n), width_(width) {
+    grow(1);
   }
 
   /// Grows the pool to at least `count` workspaces.  Must run outside any
@@ -447,7 +461,8 @@ void r2c_col_shuffle(T* a, const Math& mm, std::uint64_t width,
 /// column-shuffle cycle structure across executions of the same plan.
 template <typename T, typename Math>
 void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
-                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr) {
+                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr,
+                 stage_progress* prog = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
@@ -476,11 +491,14 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
   if (mm.needs_prerotate()) {
     INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
                            2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::prerotate);
     rotate_all_parallel(
         a, m, n, width,
         [&](std::uint64_t j) { return mm.prerotate_offset(j); }, pool, &ks,
         stream_group);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.c2r.after_prerotate");
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
@@ -488,13 +506,19 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan,
     // lines sit in cache in exclusive state and a temporal write-back is
     // free of RFO traffic — NT stores only add store-path overhead here
     // (measured ~15% slower on the row pass of a 320 MiB double matrix).
+    begin_stage(prog, stage_id::row_shuffle);
     c2r_row_pass(a, mm, pool, &ks, /*stream=*/false);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.c2r.after_row_shuffle");
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::col_shuffle);
     c2r_col_shuffle(a, mm, width, pool, memo, &ks, stream_group);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.c2r.after_col_shuffle");
 }
 
 /// Cache-aware, parallel C2R transposition.
@@ -508,7 +532,8 @@ void c2r_blocked(T* a, const Math& mm, const transpose_plan& plan) {
 /// using caller-owned scratch.
 template <typename T, typename Math>
 void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
-                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr) {
+                 workspace_pool<T>& pool, col_cycle_memo* memo = nullptr,
+                 stage_progress* prog = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   const std::uint64_t width = plan.block_width;
@@ -527,22 +552,31 @@ void r2c_blocked(T* a, const Math& mm, const transpose_plan& plan,
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::col_shuffle);
     r2c_col_shuffle(a, mm, width, pool, memo, &ks, stream_group);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.r2c.after_col_shuffle");
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
     // Never streamed, same rationale as the C2R row pass.
+    begin_stage(prog, stage_id::row_shuffle);
     r2c_row_pass(a, mm, pool, &ks, /*stream=*/false);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.r2c.after_row_shuffle");
   if (mm.needs_prerotate()) {
     INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
                            2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::prerotate);
     rotate_all_parallel(
         a, m, n, width,
         [&](std::uint64_t j) { return mm.prerotate_inv_offset(j); }, pool,
         &ks, stream_group);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("blocked.r2c.after_prerotate");
 }
 
 /// Cache-aware, parallel R2C transposition.

@@ -4,11 +4,18 @@
 // the executable specification the optimized engines are tested against,
 // and it carries the instrumentation that checks Theorem 6's "each element
 // is read and written at most 6 times" bound.
+//
+// Each pass is factored into a standalone helper; the pass and its
+// inverse (the matching pass of the opposite direction) are what the
+// failure-rollback path in core/execute.hpp replays when an execution
+// throws at a stage boundary.
 
 #include <cstdint>
 
 #include "core/equations.hpp"
+#include "core/failpoint.hpp"
 #include "core/permute.hpp"
+#include "core/recovery.hpp"
 #include "core/telemetry.hpp"
 
 namespace inplace::detail {
@@ -20,52 +27,128 @@ struct touch_counter {
   std::uint64_t writes = 0;
 };
 
+/// Pre-rotation (Eq. 23): column j rotates up by prerotate_offset(j).
+/// Inverse of reference_prerotate_inv.
+template <typename T, typename Math>
+void reference_prerotate(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t j = 0; j < mm.n; ++j) {
+    const std::uint64_t k = mm.prerotate_offset(j);
+    column_gather_inplace(a, mm.m, mm.n, j, tmp, [&](std::uint64_t i) {
+      std::uint64_t s = i + k;
+      return s >= mm.m ? s - mm.m : s;
+    });
+  }
+}
+
+/// Inverse pre-rotation (Eq. 36).  Inverse of reference_prerotate.
+template <typename T, typename Math>
+void reference_prerotate_inv(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t j = 0; j < mm.n; ++j) {
+    const std::uint64_t k = mm.prerotate_inv_offset(j);
+    column_gather_inplace(a, mm.m, mm.n, j, tmp, [&](std::uint64_t i) {
+      std::uint64_t s = i + k;
+      return s >= mm.m ? s - mm.m : s;
+    });
+  }
+}
+
+/// Row shuffle, scatter per Eq. 24.  Inverse of reference_row_gather.
+template <typename T, typename Math>
+void reference_row_scatter(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t i = 0; i < mm.m; ++i) {
+    row_scatter_inplace(a + i * mm.n, mm.n, tmp,
+                        [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  }
+}
+
+/// Row shuffle, gather form through d' (Section 4.3) — the exact inverse
+/// of reference_row_scatter on every row.
+template <typename T, typename Math>
+void reference_row_gather(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t i = 0; i < mm.m; ++i) {
+    row_gather_inplace(a + i * mm.n, mm.n, tmp,
+                       [&](std::uint64_t j) { return mm.d_prime(i, j); });
+  }
+}
+
+/// Column shuffle, gather per Eq. 26.  Inverse of
+/// reference_col_shuffle_inv.
+template <typename T, typename Math>
+void reference_col_shuffle(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t j = 0; j < mm.n; ++j) {
+    column_gather_inplace(a, mm.m, mm.n, j, tmp, [&](std::uint64_t i) {
+      return mm.s_prime(i, j);
+    });
+  }
+}
+
+/// Inverse column shuffle: the C2R column shuffle is the gather
+/// composition p_j then q, so its inverse is the single gather
+/// q^-1((i + p^-1_j) mod m) (Eqs. 34-35), one pass per column.
+template <typename T, typename Math>
+void reference_col_shuffle_inv(T* a, const Math& mm, workspace<T>& ws) {
+  T* tmp = ws.line.data();
+  for (std::uint64_t j = 0; j < mm.n; ++j) {
+    const std::uint64_t k = mm.p_inv_offset(j);
+    column_gather_inplace(a, mm.m, mm.n, j, tmp, [&](std::uint64_t i) {
+      std::uint64_t s = i + k;
+      if (s >= mm.m) {
+        s -= mm.m;
+      }
+      return mm.q_inv(s);
+    });
+  }
+}
+
 /// In-place C2R transposition (Algorithm 1).  After the call, the buffer
 /// holds the row-major linearization of the transpose (Theorem 1).
+/// `prog` (optional) records completed passes for stage-boundary
+/// rollback.
 template <typename T, typename Math>
 void c2r_reference(T* a, const Math& mm, workspace<T>& ws,
-                   touch_counter* tc = nullptr) {
+                   touch_counter* tc = nullptr,
+                   stage_progress* prog = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
-  T* tmp = ws.line.data();
 
   // Step 1 — pre-rotation (Eq. 23), needed only when gcd(m, n) > 1.
   if (mm.needs_prerotate()) {
     INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t j = 0; j < n; ++j) {
-      const std::uint64_t k = mm.prerotate_offset(j);
-      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-        std::uint64_t s = i + k;
-        return s >= m ? s - m : s;
-      });
-    }
+    begin_stage(prog, stage_id::prerotate);
+    reference_prerotate(a, mm, ws);
+    end_stage(prog);
     if (tc) {
       tc->reads += m * n;
       tc->writes += m * n;
     }
   }
+  INPLACE_FAILPOINT("reference.c2r.after_prerotate");
 
   // Step 2 — row shuffle, scatter per Eq. 24.
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t i = 0; i < m; ++i) {
-      row_scatter_inplace(a + i * n, n, tmp,
-                          [&](std::uint64_t j) { return mm.d_prime(i, j); });
-    }
+    begin_stage(prog, stage_id::row_shuffle);
+    reference_row_scatter(a, mm, ws);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("reference.c2r.after_row_shuffle");
 
   // Step 3 — column shuffle, gather per Eq. 26.
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t j = 0; j < n; ++j) {
-      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-        return mm.s_prime(i, j);
-      });
-    }
+    begin_stage(prog, stage_id::col_shuffle);
+    reference_col_shuffle(a, mm, ws);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("reference.c2r.after_col_shuffle");
   if (tc) {
     tc->reads += 2 * m * n;
     tc->writes += 2 * m * n;
@@ -80,52 +163,34 @@ void c2r_reference_gather(T* a, const Math& mm, workspace<T>& ws) {
   const std::uint64_t n = mm.n;
   T* tmp = ws.line.data();
   if (mm.needs_prerotate()) {
-    for (std::uint64_t j = 0; j < n; ++j) {
-      const std::uint64_t k = mm.prerotate_offset(j);
-      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-        std::uint64_t s = i + k;
-        return s >= m ? s - m : s;
-      });
-    }
+    reference_prerotate(a, mm, ws);
   }
   for (std::uint64_t i = 0; i < m; ++i) {
     row_gather_inplace(a + i * n, n, tmp, [&](std::uint64_t j) {
       return mm.d_prime_inv(i, j);
     });
   }
-  for (std::uint64_t j = 0; j < n; ++j) {
-    column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-      return mm.s_prime(i, j);
-    });
-  }
+  reference_col_shuffle(a, mm, ws);
 }
 
 /// In-place R2C transposition: the inverse of C2R, i.e. the C2R steps
 /// reversed with gathers/scatters interchanged (Section 4.3).
 template <typename T, typename Math>
 void r2c_reference(T* a, const Math& mm, workspace<T>& ws,
-                   touch_counter* tc = nullptr) {
+                   touch_counter* tc = nullptr,
+                   stage_progress* prog = nullptr) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
-  T* tmp = ws.line.data();
 
-  // Step 1 — inverse column shuffle.  The C2R column shuffle is the gather
-  // composition p_j then q, so its inverse is the single gather
-  // q^-1((i + p^-1_j) mod m) (Eqs. 34-35), one pass per column.
+  // Step 1 — inverse column shuffle (Eqs. 34-35).
   {
     INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t j = 0; j < n; ++j) {
-      const std::uint64_t k = mm.p_inv_offset(j);
-      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-        std::uint64_t s = i + k;
-        if (s >= m) {
-          s -= m;
-        }
-        return mm.q_inv(s);
-      });
-    }
+    begin_stage(prog, stage_id::col_shuffle);
+    reference_col_shuffle_inv(a, mm, ws);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("reference.r2c.after_col_shuffle");
   if (tc) {
     tc->reads += m * n;
     tc->writes += m * n;
@@ -135,28 +200,25 @@ void r2c_reference(T* a, const Math& mm, workspace<T>& ws,
   {
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t i = 0; i < m; ++i) {
-      row_gather_inplace(a + i * n, n, tmp,
-                         [&](std::uint64_t j) { return mm.d_prime(i, j); });
-    }
+    begin_stage(prog, stage_id::row_shuffle);
+    reference_row_gather(a, mm, ws);
+    end_stage(prog);
   }
+  INPLACE_FAILPOINT("reference.r2c.after_row_shuffle");
 
   // Step 3 — inverse pre-rotation (Eq. 36), when gcd(m, n) > 1.
   if (mm.needs_prerotate()) {
     INPLACE_TELEMETRY_SPAN(span_rot, telemetry::stage::prerotate,
                            2 * m * n * sizeof(T), 0);
-    for (std::uint64_t j = 0; j < n; ++j) {
-      const std::uint64_t k = mm.prerotate_inv_offset(j);
-      column_gather_inplace(a, m, n, j, tmp, [&](std::uint64_t i) {
-        std::uint64_t s = i + k;
-        return s >= m ? s - m : s;
-      });
-    }
+    begin_stage(prog, stage_id::prerotate);
+    reference_prerotate_inv(a, mm, ws);
+    end_stage(prog);
     if (tc) {
       tc->reads += m * n;
       tc->writes += m * n;
     }
   }
+  INPLACE_FAILPOINT("reference.r2c.after_prerotate");
   if (tc) {
     tc->reads += m * n;
     tc->writes += m * n;

@@ -5,9 +5,11 @@
 
 #include "cpu/kernels/kernel_set.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -208,24 +210,64 @@ const cache_sizes& probed_caches() {
   return sizes;
 }
 
+namespace {
+
+/// Strict full-consumption size parser for the env overrides, matching
+/// the discipline parse_bench_args uses (util/bench_harness.cpp): digits
+/// only — which rejects signs, spaces and trailing junk outright, and in
+/// particular keeps "-1" from silently wrapping to ULLONG_MAX through
+/// strtoull's documented negation — plus an ERANGE/size_t range check so
+/// overflow is a loud rejection instead of a silent saturation to
+/// ULLONG_MAX.
+std::optional<std::size_t> parse_env_size(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return std::nullopt;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return std::nullopt;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      v > std::numeric_limits<std::size_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Reads an env-var size override; warns (once per variable) and falls
+/// back when the value does not parse strictly.
+std::optional<std::size_t> env_size_override(const char* name,
+                                             bool& warned) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return std::nullopt;
+  }
+  if (const auto v = parse_env_size(env)) {
+    return v;
+  }
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "inplace: ignoring invalid %s='%s' (want an unsigned "
+                 "integer <= SIZE_MAX, digits only: no sign, no suffix, "
+                 "no whitespace)\n",
+                 name, env);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::size_t streaming_threshold() {
   // Env read per call for the same reason as resolve_tier: tests set
   // INPLACE_NT_THRESHOLD=0 to force streaming on small shapes.
-  if (const char* env = std::getenv("INPLACE_NT_THRESHOLD")) {
-    if (*env != '\0') {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(env, &end, 10);
-      if (end != env && *end == '\0') {
-        return static_cast<std::size_t>(v);
-      }
-      static bool warned = false;
-      if (!warned) {
-        warned = true;
-        std::fprintf(
-            stderr,
-            "inplace: ignoring non-numeric INPLACE_NT_THRESHOLD='%s'\n", env);
-      }
-    }
+  static bool warned = false;
+  if (const auto v = env_size_override("INPLACE_NT_THRESHOLD", warned)) {
+    return *v;
   }
   return probed_caches().l3_bytes;
 }
@@ -239,22 +281,10 @@ std::size_t row_kernel_min_line_bytes() {
   // Env read per call, same pattern as streaming_threshold: tests set
   // INPLACE_ROW_KERNEL_MIN_LINE=0 to exercise the row kernels on small
   // shapes.
-  if (const char* env = std::getenv("INPLACE_ROW_KERNEL_MIN_LINE")) {
-    if (*env != '\0') {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(env, &end, 10);
-      if (end != env && *end == '\0') {
-        return static_cast<std::size_t>(v);
-      }
-      static bool warned = false;
-      if (!warned) {
-        warned = true;
-        std::fprintf(
-            stderr,
-            "inplace: ignoring non-numeric INPLACE_ROW_KERNEL_MIN_LINE='%s'\n",
-            env);
-      }
-    }
+  static bool warned = false;
+  if (const auto v =
+          env_size_override("INPLACE_ROW_KERNEL_MIN_LINE", warned)) {
+    return *v;
   }
   return probed_caches().l2_bytes;
 }

@@ -12,12 +12,19 @@
 //   2. the rotation component p of the column shuffle (residuals j < n),
 //   3. the static row permutation q as whole-row cycle following.
 // R2C is the mirror image, with the final fused pass sweeping bottom-up.
+//
+// Each pass is a standalone helper and the R2C helpers are the exact
+// pass-wise inverses of the C2R helpers; the failure-rollback path in
+// core/execute.hpp replays the inverses of completed passes when an
+// execution throws at a stage boundary.
 
 #include <algorithm>
 #include <cstdint>
 
 #include "core/equations.hpp"
+#include "core/failpoint.hpp"
 #include "core/permute.hpp"
+#include "core/recovery.hpp"
 #include "core/rotate.hpp"
 #include "core/telemetry.hpp"
 
@@ -28,128 +35,123 @@ void reserve_skinny(workspace<T>& ws, std::uint64_t m, std::uint64_t n) {
   ws.reserve(m, n, /*width=*/n);
 }
 
-/// Skinny C2R: in-place transpose of a tall row-major m x n array
-/// (m > n); equivalently, AoS -> SoA conversion for m structures of n
-/// fields each.  An optional cycle_memo caches the q-permutation's cycle
-/// leaders across executions of the same plan.
+/// The narrow-row streaming gate shared by both directions: a narrow row
+/// cannot amortize non-temporal write-combining and fencing (measured
+/// 2.6x slower end-to-end at n = 16 before this gate), so narrow-row
+/// plans stay temporal regardless of the matrix-scale streaming decision.
+template <typename T>
+[[nodiscard]] inline bool skinny_stream_ok(std::uint64_t n, bool stream) {
+  return stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
+}
+
+/// C2R pass 1 — fused pre-rotation (gather, Eq. 23) + row shuffle
+/// (scatter, Eq. 24): tmp[d'_i(j)] <- A[(i + ⌊j/b⌋) mod m][j].  Sources
+/// sit at or below the sweep row except for wrapped reads, which the head
+/// buffer (original rows [0, c-1)) serves.  Inverse of
+/// skinny_fused_gather.
 template <typename T, typename Math>
-void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
-                cycle_memo* memo = nullptr,
-                const kernels::kernel_set* ks = nullptr,
-                bool stream = false) {
+void skinny_fused_scatter(T* a, const Math& mm, workspace<T>& ws,
+                          const kernels::kernel_set* ks, bool stream) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
-  // Every streamed store in this engine is row-granular (n elements): a
-  // narrow row cannot amortize non-temporal write-combining and fencing
-  // (measured 2.6x slower end-to-end at n = 16 before this gate), so
-  // narrow-row plans stay temporal regardless of the matrix-scale
-  // streaming decision.
-  stream = stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
   T* tmp = ws.line.data();
   T* head = ws.head.data();
-
-  // Pass 1 — fused pre-rotation (gather, Eq. 23) + row shuffle (scatter,
-  // Eq. 24): tmp[d'_i(j)] <- A[(i + ⌊j/b⌋) mod m][j].  Sources sit at or
-  // below the sweep row except for wrapped reads, which the head buffer
-  // (original rows [0, c-1)) serves.
-  {
-    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
-                           2 * m * n * sizeof(T), 0);
-    const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
-    for (std::uint64_t r = 0; r < head_rows; ++r) {
-      std::copy(a + r * n, a + (r + 1) * n, head + r * n);
-    }
-    for (std::uint64_t i = 0; i < m; ++i) {
-      // The fused gather reads rows [i, i + c) — the next row's window
-      // slides down by one, so prefetch the row entering it.
-      if (i + mm.c < m) {
-        kernels::prefetch_read(a + (i + mm.c) * n);
-      }
-      d_prime_stepper step(mm, i);
-      for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
-        const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
-        tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
-      }
-      copy_back(a + i * n, tmp, n, ks, stream);
-    }
+  const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
+  for (std::uint64_t r = 0; r < head_rows; ++r) {
+    std::copy(a + r * n, a + (r + 1) * n, head + r * n);
   }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    // The fused gather reads rows [i, i + c) — the next row's window
+    // slides down by one, so prefetch the row entering it.
+    if (i + mm.c < m) {
+      kernels::prefetch_read(a + (i + mm.c) * n);
+    }
+    d_prime_stepper step(mm, i);
+    for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
+      const std::uint64_t s = i + step.rotation();  // ⌊j/b⌋
+      tmp[step.value()] = s < m ? a[s * n + j] : head[(s - m) * n + j];
+    }
+    copy_back(a + i * n, tmp, n, ks, stream);
+  }
+}
 
-  // Passes 2+3 are the column shuffle split into its rotation and static
-  // row-permutation components; one span covers both.
-  INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
-                         4 * m * n * sizeof(T), 0);
-
-  // Pass 2 — rotation component p_j of the column shuffle.  Offsets are
-  // exactly j in [0, n) < m, so the fine streaming pass applies directly.
+/// C2R pass 2 — rotation component p_j of the column shuffle.  Offsets
+/// are exactly j in [0, n) < m, so the fine streaming pass applies
+/// directly.  Inverse of skinny_rotate_p_inv.
+template <typename T, typename Math>
+void skinny_rotate_p(T* a, const Math& mm, workspace<T>& ws,
+                     const kernels::kernel_set* ks, bool stream) {
+  const std::uint64_t n = mm.n;
   for (std::uint64_t j = 0; j < n; ++j) {
     ws.offsets[j] = mm.p_offset(j);
   }
-  fine_rotate_group(a, m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(), head,
-                    ks, ws.index.data(), stream);
+  fine_rotate_group(a, mm.m, n, /*j0=*/0, /*width=*/n, ws.offsets.data(),
+                    ws.head.data(), ks, ws.index.data(), stream);
+}
 
-  // Pass 3 — static row permutation q, moving whole contiguous rows.
-  // The cycles depend only on the plan's shape, so a memo replays them
-  // without re-discovery.
+/// R2C pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
+/// machinery normalizes them to a coarse whole-row rotation plus small
+/// residuals).  Inverse of skinny_rotate_p.
+template <typename T, typename Math>
+void skinny_rotate_p_inv(T* a, const Math& mm, workspace<T>& ws,
+                         const kernels::kernel_set* ks, bool stream) {
+  rotate_group_cache_aware(
+      a, mm.m, mm.n, /*j0=*/0, /*w=*/mm.n,
+      [&](std::uint64_t j) { return mm.p_inv_offset(j); }, ws, ks, stream);
+}
+
+/// C2R pass 3 — static row permutation q, moving whole contiguous rows.
+/// The cycles depend only on the plan's shape, so a memo replays them
+/// without re-discovery.  Inverse of skinny_permute_q_inv.
+template <typename T, typename Math>
+void skinny_permute_q(T* a, const Math& mm, workspace<T>& ws,
+                      cycle_memo* memo, const kernels::kernel_set* ks,
+                      bool stream) {
   const auto q = [&](std::uint64_t i) { return mm.q(i); };
   std::vector<std::uint64_t>& starts =
       memo != nullptr ? memo->starts : ws.cycle_starts;
   if (memo == nullptr || !memo->ready) {
-    find_cycles(m, q, ws.visited, starts);
+    find_cycles(mm.m, q, ws.visited, starts);
     if (memo != nullptr) {
       memo->ready = true;
     }
   }
-  permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q, starts, tmp, ks,
-                        stream);
+  permute_rows_in_group(a, mm.n, /*j0=*/0, /*width=*/mm.n, q, starts,
+                        ws.line.data(), ks, stream);
 }
 
-/// Skinny R2C: the inverse of c2r_skinny on the same m x n view
-/// (SoA -> AoS conversion).
+/// R2C pass 1 — inverse row permutation q^-1, whole-row cycle following
+/// (memoized the same way as skinny_permute_q).  Inverse of
+/// skinny_permute_q.
 template <typename T, typename Math>
-void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
-                cycle_memo* memo = nullptr,
-                const kernels::kernel_set* ks = nullptr,
-                bool stream = false) {
+void skinny_permute_q_inv(T* a, const Math& mm, workspace<T>& ws,
+                          cycle_memo* memo, const kernels::kernel_set* ks,
+                          bool stream) {
+  const auto q_inv = [&](std::uint64_t i) { return mm.q_inv(i); };
+  std::vector<std::uint64_t>& starts =
+      memo != nullptr ? memo->starts : ws.cycle_starts;
+  if (memo == nullptr || !memo->ready) {
+    find_cycles(mm.m, q_inv, ws.visited, starts);
+    if (memo != nullptr) {
+      memo->ready = true;
+    }
+  }
+  permute_rows_in_group(a, mm.n, /*j0=*/0, /*width=*/mm.n, q_inv, starts,
+                        ws.line.data(), ks, stream);
+}
+
+/// R2C pass 3 — row shuffle (gather d') fused with the inverse
+/// pre-rotation (gather offset -⌊j/b⌋): row i, col j <- row
+/// (i - ⌊j/b⌋) mod m, col d'_s(j).  Sweeping bottom-up keeps unwrapped
+/// sources unwritten; the wrapped reads (into the top rows written
+/// first) come from a saved tail.  Inverse of skinny_fused_scatter.
+template <typename T, typename Math>
+void skinny_fused_gather(T* a, const Math& mm, workspace<T>& ws,
+                         const kernels::kernel_set* ks, bool stream) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
-  // Same narrow-row amortization gate as c2r_skinny.
-  stream = stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
   T* tmp = ws.line.data();
   T* head = ws.head.data();
-
-  {
-    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
-                           4 * m * n * sizeof(T), 0);
-
-    // Pass 1 — inverse row permutation q^-1, whole-row cycle following
-    // (memoized across executions the same way as c2r_skinny's pass 3).
-    const auto q_inv = [&](std::uint64_t i) { return mm.q_inv(i); };
-    std::vector<std::uint64_t>& starts =
-        memo != nullptr ? memo->starts : ws.cycle_starts;
-    if (memo == nullptr || !memo->ready) {
-      find_cycles(m, q_inv, ws.visited, starts);
-      if (memo != nullptr) {
-        memo->ready = true;
-      }
-    }
-    permute_rows_in_group(a, n, /*j0=*/0, /*width=*/n, q_inv, starts, tmp,
-                          ks, stream);
-
-    // Pass 2 — inverse rotation p^-1 (offsets (m - j) mod m; the group
-    // machinery normalizes them to a coarse whole-row rotation plus small
-    // residuals).
-    rotate_group_cache_aware(
-        a, m, n, /*j0=*/0, /*w=*/n,
-        [&](std::uint64_t j) { return mm.p_inv_offset(j); }, ws, ks, stream);
-  }
-
-  INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
-                         2 * m * n * sizeof(T), 0);
-
-  // Pass 3 — row shuffle (gather d') fused with the inverse pre-rotation
-  // (gather offset -⌊j/b⌋): row i, col j <- row (i - ⌊j/b⌋) mod m, col
-  // d'_s(j).  Sweeping bottom-up keeps unwrapped sources unwritten; the
-  // wrapped reads (into the top rows written first) come from a saved tail.
   const std::uint64_t tail_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
   const std::uint64_t tail_base = m - tail_rows;
   for (std::uint64_t r = 0; r < tail_rows; ++r) {
@@ -185,6 +187,81 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
     }
     copy_back(a + ii * n, tmp, n, ks, stream);
   }
+}
+
+/// Skinny C2R: in-place transpose of a tall row-major m x n array
+/// (m > n); equivalently, AoS -> SoA conversion for m structures of n
+/// fields each.  An optional cycle_memo caches the q-permutation's cycle
+/// leaders across executions of the same plan; an optional
+/// stage_progress records completed passes for rollback.
+template <typename T, typename Math>
+void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
+                cycle_memo* memo = nullptr,
+                const kernels::kernel_set* ks = nullptr,
+                bool stream = false, stage_progress* prog = nullptr) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  stream = skinny_stream_ok<T>(n, stream);
+
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::skinny_fused_row);
+    skinny_fused_scatter(a, mm, ws, ks, stream);
+    end_stage(prog);
+  }
+  INPLACE_FAILPOINT("skinny.c2r.after_fused_row");
+
+  // Passes 2+3 are the column shuffle split into its rotation and static
+  // row-permutation components; one span covers both.
+  INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                         4 * m * n * sizeof(T), 0);
+
+  begin_stage(prog, stage_id::skinny_rotation);
+  skinny_rotate_p(a, mm, ws, ks, stream);
+  end_stage(prog);
+  INPLACE_FAILPOINT("skinny.c2r.after_rotation");
+
+  begin_stage(prog, stage_id::skinny_permute);
+  skinny_permute_q(a, mm, ws, memo, ks, stream);
+  end_stage(prog);
+  INPLACE_FAILPOINT("skinny.c2r.after_permute");
+}
+
+/// Skinny R2C: the inverse of c2r_skinny on the same m x n view
+/// (SoA -> AoS conversion).
+template <typename T, typename Math>
+void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
+                cycle_memo* memo = nullptr,
+                const kernels::kernel_set* ks = nullptr,
+                bool stream = false, stage_progress* prog = nullptr) {
+  const std::uint64_t m = mm.m;
+  const std::uint64_t n = mm.n;
+  stream = skinny_stream_ok<T>(n, stream);
+
+  {
+    INPLACE_TELEMETRY_SPAN(span_col, telemetry::stage::col_shuffle,
+                           4 * m * n * sizeof(T), 0);
+
+    begin_stage(prog, stage_id::skinny_permute);
+    skinny_permute_q_inv(a, mm, ws, memo, ks, stream);
+    end_stage(prog);
+    INPLACE_FAILPOINT("skinny.r2c.after_permute");
+
+    begin_stage(prog, stage_id::skinny_rotation);
+    skinny_rotate_p_inv(a, mm, ws, ks, stream);
+    end_stage(prog);
+  }
+  INPLACE_FAILPOINT("skinny.r2c.after_rotation");
+
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
+                           2 * m * n * sizeof(T), 0);
+    begin_stage(prog, stage_id::skinny_fused_row);
+    skinny_fused_gather(a, mm, ws, ks, stream);
+    end_stage(prog);
+  }
+  INPLACE_FAILPOINT("skinny.r2c.after_fused_row");
 }
 
 }  // namespace inplace::detail

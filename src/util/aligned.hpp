@@ -9,6 +9,8 @@
 #include <new>
 #include <vector>
 
+#include "core/failpoint.hpp"
+
 namespace inplace::util {
 
 /// Scratch buffers are aligned to one cache line (also the widest vector
@@ -34,6 +36,11 @@ struct aligned_allocator {
   };
 
   [[nodiscard]] T* allocate(std::size_t count) {
+    // Failure-injection shim: in an INPLACE_FAILPOINTS TU, arming
+    // "alloc.aligned" (mode oom, with skip/count) makes the k-th scratch
+    // allocation fail exactly where a real std::bad_alloc would — the
+    // OOM-ladder tests drive every workspace allocation through this.
+    INPLACE_FAILPOINT("alloc.aligned");
     return static_cast<T*>(
         ::operator new(count * sizeof(T), std::align_val_t{Align}));
   }

@@ -348,6 +348,79 @@ TEST(Context, ConcurrentSubmitAndTransposeStress) {
   }
 }
 
+// Regression (worker-pool shutdown bugfix): destroying a context with
+// jobs in flight and queued used to abandon the queued-but-unstarted
+// jobs, leaving their futures unsatisfied forever (a fut.get() after the
+// dtor deadlocked).  Now every future settles: completed jobs hold the
+// transpose, abandoned ones throw context_shutdown with their buffer
+// untouched.
+TEST(Context, DestructionWithPendingJobsSettlesEveryFuture) {
+  const std::size_t m = 80;
+  const std::size_t n = 64;
+  const auto src = util::iota_matrix<double>(m, n);
+  constexpr std::size_t jobs = 24;
+  std::vector<std::vector<double>> bufs(jobs, src);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  {
+    context_options copts;
+    copts.workers = 1;  // keep most jobs queued when the dtor runs
+    transpose_context ctx(copts);
+    for (auto& buf : bufs) {
+      futs.push_back(ctx.submit(buf.data(), m, n));
+    }
+  }
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    ASSERT_TRUE(futs[k].valid());
+    try {
+      futs[k].get();
+      ++completed;
+      expect_transposed(bufs[k], src, m, n, "job completed before dtor");
+    } catch (const context_shutdown&) {
+      ++cancelled;
+      // Never started: the buffer must be bit-exactly untouched.
+      EXPECT_EQ(util::first_mismatch(std::span<const double>(bufs[k]),
+                                     std::span<const double>(src)),
+                -1)
+          << "cancelled job " << k << " touched its buffer";
+    }
+  }
+  EXPECT_EQ(completed + cancelled, jobs);
+}
+
+// shutdown(drain_pending=true) instead runs everything already queued.
+TEST(Context, ShutdownDrainCompletesQueuedJobs) {
+  const std::size_t m = 48;
+  const std::size_t n = 40;
+  const auto src = util::iota_matrix<float>(m, n);
+  constexpr std::size_t jobs = 10;
+  std::vector<std::vector<float>> bufs(jobs, src);
+  context_options copts;
+  copts.workers = 1;
+  transpose_context ctx(copts);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  for (auto& buf : bufs) {
+    futs.push_back(ctx.submit(buf.data(), m, n));
+  }
+  ctx.shutdown(/*drain_pending=*/true);
+  for (auto& fut : futs) {
+    EXPECT_NO_THROW(fut.get());
+  }
+  for (const auto& buf : bufs) {
+    expect_transposed(buf, src, m, n, "drained job");
+  }
+  EXPECT_THROW(
+      {
+        auto buf = src;
+        auto fut = ctx.submit(buf.data(), m, n);
+        (void)fut;
+      },
+      context_shutdown);
+}
+
 // Regression (workspace aliasing bugfix): a thread_count_guard raising
 // the OpenMP pool past what workspace_pool was constructed for used to
 // make local() wrap around and alias one workspace across two threads.

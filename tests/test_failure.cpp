@@ -1,0 +1,707 @@
+// Failure-semantics suite (this TU compiles with INPLACE_FAILPOINTS and
+// INPLACE_TELEMETRY): the fault-injection registry itself, stage-boundary
+// rollback across every engine and direction, the OOM degradation ladder
+// (full -> reduced -> cycle_follow), and the async lifecycle guarantees of
+// transpose_context — every future settles, queued jobs fail
+// deterministically on shutdown/cancel, worker faults never lose a job.
+//
+// The per-entry-point contract under test (DESIGN.md §11): a failing call
+// leaves the caller's buffer fully transposed or bit-exactly restored,
+// never scrambled.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <new>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/executor.hpp"
+#include "core/failpoint.hpp"
+#include "core/telemetry.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace inplace;
+namespace fp = inplace::failpoint;
+
+/// Sets (or, for value == nullptr, removes) an environment variable for
+/// the test's duration, restoring the previous state on exit.
+class env_guard {
+ public:
+  env_guard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~env_guard() {
+    if (old_) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+    fp::reload_env();
+  }
+  env_guard(const env_guard&) = delete;
+  env_guard& operator=(const env_guard&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+template <typename T>
+void expect_same(const std::vector<T>& got, const std::vector<T>& want,
+                 const char* what) {
+  EXPECT_EQ(util::first_mismatch(std::span<const T>(got),
+                                 std::span<const T>(want)),
+            -1)
+      << what;
+}
+
+template <typename T>
+void expect_transposed(const std::vector<T>& got, const std::vector<T>& src,
+                       std::size_t rows, std::size_t cols, const char* what) {
+  const std::vector<T> want =
+      util::reference_transpose(std::span<const T>(src), rows, cols);
+  expect_same(got, want, what);
+}
+
+// --- the failpoint registry --------------------------------------------------
+
+TEST(Failpoint, ArmFireDisarmAndRetiredCounters) {
+  EXPECT_FALSE(fp::any_armed());
+  fp::arm("t.unit");
+  EXPECT_TRUE(fp::any_armed());
+  EXPECT_THROW(fp::trigger("t.unit"), fp::injected_fault);
+  EXPECT_EQ(fp::hits("t.unit"), 1u);
+  EXPECT_EQ(fp::fires("t.unit"), 1u);
+  // Unarmed names pass through silently, armed or not elsewhere.
+  EXPECT_NO_THROW(fp::trigger("t.other"));
+  EXPECT_TRUE(fp::disarm("t.unit"));
+  EXPECT_FALSE(fp::disarm("t.unit"));
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_NO_THROW(fp::trigger("t.unit"));
+  // Counters survive disarm (the retired table) so scoped_trigger tests
+  // can assert after the scope closes.
+  EXPECT_EQ(fp::hits("t.unit"), 1u);
+  EXPECT_EQ(fp::fires("t.unit"), 1u);
+}
+
+TEST(Failpoint, SkipAndCountBoundTheFiringWindow) {
+  fp::scoped_trigger armed("t.window", fp::mode::fault, /*skip=*/2,
+                           /*count=*/1);
+  EXPECT_NO_THROW(fp::trigger("t.window"));  // hit 1 (skipped)
+  EXPECT_NO_THROW(fp::trigger("t.window"));  // hit 2 (skipped)
+  EXPECT_THROW(fp::trigger("t.window"), fp::injected_fault);  // hit 3 fires
+  EXPECT_NO_THROW(fp::trigger("t.window"));  // count exhausted
+  EXPECT_EQ(fp::hits("t.window"), 4u);
+  EXPECT_EQ(fp::fires("t.window"), 1u);
+}
+
+TEST(Failpoint, OomModeThrowsBadAllocAndCountModeNeverThrows) {
+  {
+    fp::scoped_trigger armed("t.oom", fp::mode::oom);
+    EXPECT_THROW(fp::trigger("t.oom"), std::bad_alloc);
+  }
+  {
+    fp::scoped_trigger armed("t.count", fp::mode::count);
+    EXPECT_NO_THROW(fp::trigger("t.count"));
+    EXPECT_NO_THROW(fp::trigger("t.count"));
+  }
+  EXPECT_EQ(fp::hits("t.count"), 2u);
+  EXPECT_EQ(fp::fires("t.count"), 2u);  // fired (counted), never threw
+}
+
+TEST(Failpoint, EnvArmsReloadsAndRejectsMalformedEntries) {
+  {
+    const env_guard guard("INPLACE_FAILPOINTS",
+                          "t.env:count:1,t.bad:explode,:fault");
+    fp::reload_env();
+    EXPECT_TRUE(fp::any_armed());
+    EXPECT_NO_THROW(fp::trigger("t.env"));  // skipped (skip=1)
+    EXPECT_NO_THROW(fp::trigger("t.env"));  // counted, mode count
+    EXPECT_EQ(fp::hits("t.env"), 2u);
+    EXPECT_EQ(fp::fires("t.env"), 1u);
+    // The malformed entries were rejected loudly, not armed quietly.
+    EXPECT_NO_THROW(fp::trigger("t.bad"));
+    EXPECT_EQ(fp::hits("t.bad"), 0u);
+  }
+  // env_guard restored + reloaded: the env arm is gone.
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_NO_THROW(fp::trigger("t.env"));
+  EXPECT_EQ(fp::hits("t.env"), 2u);  // retired counters persist
+}
+
+// --- stage-boundary rollback -------------------------------------------------
+
+/// Arms `name`, runs a directed transposition of src through a fresh
+/// transposer, and asserts the injected failure left the buffer
+/// bit-exactly restored; then reruns unarmed and asserts success.
+template <typename T>
+void check_rollback(std::size_t m, std::size_t n, direction dir,
+                    const options& opts, const char* name) {
+  SCOPED_TRACE(name);
+  const auto src = util::iota_matrix<T>(m, n);
+  auto buf = src;
+  const transpose_plan plan =
+      make_directed_plan(buf.data(), m, n, dir, opts, sizeof(T));
+  {
+    fp::scoped_trigger armed(name);
+    transposer<T> tr(plan);
+    EXPECT_THROW(tr(buf.data()), fp::injected_fault);
+    EXPECT_GE(fp::fires(name), 1u) << "failpoint never traversed";
+  }
+  expect_same(buf, src, "buffer not restored after injected fault");
+  // Unarmed rerun on a fresh transposer: the same plan must now succeed.
+  transposer<T> tr(plan);
+  tr(buf.data());
+  if (dir == direction::c2r) {
+    expect_transposed(buf, src, m, n, "post-rollback rerun");
+  } else {
+    // r2c is c2r's inverse: c2r(r2c(x)) == x.
+    transposer<T> inv(
+        make_directed_plan(buf.data(), m, n, direction::c2r, opts,
+                           sizeof(T)));
+    inv(buf.data());
+    expect_same(buf, src, "r2c/c2r round trip after rollback");
+  }
+}
+
+TEST(Rollback, ReferenceEngineRestoresAtEveryStageBoundary) {
+  options opts;
+  opts.engine = engine_kind::reference;
+  // 40 x 25: gcd 5 > 1, so the prerotate stage genuinely runs.
+  for (const char* name :
+       {"reference.c2r.after_prerotate", "reference.c2r.after_row_shuffle",
+        "reference.c2r.after_col_shuffle"}) {
+    check_rollback<double>(40, 25, direction::c2r, opts, name);
+  }
+  for (const char* name :
+       {"reference.r2c.after_col_shuffle", "reference.r2c.after_row_shuffle",
+        "reference.r2c.after_prerotate"}) {
+    check_rollback<double>(40, 25, direction::r2c, opts, name);
+  }
+}
+
+TEST(Rollback, SkinnyEngineRestoresAtEveryStageBoundary) {
+  options opts;
+  opts.engine = engine_kind::skinny;
+  for (const char* name :
+       {"skinny.c2r.after_fused_row", "skinny.c2r.after_rotation",
+        "skinny.c2r.after_permute"}) {
+    check_rollback<float>(1000, 8, direction::c2r, opts, name);
+  }
+  for (const char* name :
+       {"skinny.r2c.after_permute", "skinny.r2c.after_rotation",
+        "skinny.r2c.after_fused_row"}) {
+    check_rollback<float>(1000, 8, direction::r2c, opts, name);
+  }
+}
+
+TEST(Rollback, BlockedEngineRestoresAtEveryStageBoundary) {
+  options opts;
+  opts.engine = engine_kind::blocked;
+  // 64 x 48: gcd 16 — prerotate runs, parallel pool engaged.
+  for (const char* name :
+       {"blocked.c2r.after_prerotate", "blocked.c2r.after_row_shuffle",
+        "blocked.c2r.after_col_shuffle"}) {
+    check_rollback<double>(64, 48, direction::c2r, opts, name);
+  }
+  for (const char* name :
+       {"blocked.r2c.after_col_shuffle", "blocked.r2c.after_row_shuffle",
+        "blocked.r2c.after_prerotate"}) {
+    check_rollback<double>(64, 48, direction::r2c, opts, name);
+  }
+}
+
+TEST(Rollback, OneShotExecutePlanPathRestoresToo) {
+  // The uncached execute_plan path (free functions) shares run_with_math's
+  // rollback; prove it independently of the transposer.
+  const std::size_t m = 56;
+  const std::size_t n = 42;
+  const auto src = util::iota_matrix<double>(m, n);
+  auto buf = src;
+  const transpose_plan plan =
+      make_directed_plan(buf.data(), m, n, direction::c2r, {}, sizeof(double));
+  {
+    fp::scoped_trigger armed("blocked.c2r.after_row_shuffle");
+    EXPECT_THROW(detail::execute_plan(buf.data(), plan), fp::injected_fault);
+  }
+  expect_same(buf, src, "execute_plan rollback");
+  detail::execute_plan(buf.data(), plan);
+  expect_transposed(buf, src, m, n, "execute_plan rerun");
+}
+
+// --- the OOM degradation ladder ----------------------------------------------
+
+TEST(OomLadder, FullRungFailureDegradesToReducedAndStaysExact) {
+  const struct {
+    std::size_t m, n;
+    engine_kind engine;
+    const char* what;
+  } cases[] = {
+      {64, 48, engine_kind::blocked, "blocked"},
+      {1000, 8, engine_kind::skinny, "skinny"},
+      {40, 25, engine_kind::reference, "reference"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.what);
+    options opts;
+    opts.engine = c.engine;
+    const auto src = util::iota_matrix<double>(c.m, c.n);
+    auto buf = src;
+    const transpose_plan plan = make_directed_plan(
+        buf.data(), c.m, c.n, direction::c2r, opts, sizeof(double));
+    fp::scoped_trigger no_full("exec.alloc.full", fp::mode::oom);
+    transposer<double> tr(plan);
+    EXPECT_EQ(tr.plan().rung, scratch_rung::reduced);
+    EXPECT_EQ(tr.plan().threads, 1);
+    tr(buf.data());
+    expect_transposed(buf, src, c.m, c.n, "reduced rung");
+  }
+}
+
+TEST(OomLadder, BothAllocRungsFailingFallBackToCycleFollow) {
+  for (const direction dir : {direction::c2r, direction::r2c}) {
+    SCOPED_TRACE(dir == direction::c2r ? "c2r" : "r2c");
+    const std::size_t m = 64;
+    const std::size_t n = 48;
+    const auto src = util::iota_matrix<double>(m, n);
+    auto buf = src;
+    const transpose_plan plan =
+        make_directed_plan(buf.data(), m, n, dir, {}, sizeof(double));
+    fp::scoped_trigger no_full("exec.alloc.full", fp::mode::oom);
+    fp::scoped_trigger no_reduced("exec.alloc.reduced", fp::mode::oom);
+    transposer<double> tr(plan);
+    EXPECT_EQ(tr.plan().rung, scratch_rung::cycle_follow);
+    tr(buf.data());
+    if (dir == direction::c2r) {
+      expect_transposed(buf, src, m, n, "cycle_follow rung");
+    } else {
+      transposer<double> inv(make_directed_plan(buf.data(), m, n,
+                                                direction::c2r, {},
+                                                sizeof(double)));
+      inv(buf.data());
+      expect_same(buf, src, "cycle_follow r2c round trip");
+    }
+  }
+}
+
+TEST(OomLadder, RealAllocatorFailuresWalkTheLadderMidReserve) {
+  const std::size_t m = 64;
+  const std::size_t n = 48;
+  const auto src = util::iota_matrix<double>(m, n);
+
+  {
+    // Every scratch allocation fails (the aligned-allocator shim): both
+    // allocating rungs collapse and the ladder lands on cycle_follow.
+    auto buf = src;
+    fp::scoped_trigger no_alloc("alloc.aligned", fp::mode::oom);
+    transposer<double> tr(m, n);
+    EXPECT_EQ(tr.plan().rung, scratch_rung::cycle_follow);
+    tr(buf.data());
+    // At least one real allocation failed through the shim (exactly one
+    // per allocating rung the ladder still visited — the sanitizer pass
+    // env-forces the full rung off before it allocates).
+    EXPECT_GE(fp::fires("alloc.aligned"), 1u);
+    expect_transposed(buf, src, m, n, "allocator-driven cycle_follow");
+  }
+  {
+    // Mid-reserve failure: the first allocation succeeds, a later one
+    // throws, and acquire_scratch must release the partial rung cleanly
+    // and land on a lower one — never leak or scramble.
+    auto buf = src;
+    fp::scoped_trigger partial("alloc.aligned", fp::mode::oom, /*skip=*/1);
+    transposer<double> tr(m, n);
+    EXPECT_NE(tr.plan().rung, scratch_rung::full);
+    tr(buf.data());
+    expect_transposed(buf, src, m, n, "mid-reserve degradation");
+  }
+}
+
+TEST(OomLadder, AllRungsForbiddenThrowsWithBufferUntouched) {
+  transpose_context ctx;
+  const std::size_t m = 48;
+  const std::size_t n = 36;
+  const auto src = util::iota_matrix<double>(m, n);
+  auto buf = src;
+  fp::scoped_trigger no_full("exec.alloc.full", fp::mode::oom);
+  fp::scoped_trigger no_reduced("exec.alloc.reduced", fp::mode::oom);
+  fp::scoped_trigger no_floor("exec.rung.cycle_follow");
+  EXPECT_THROW(ctx.transpose(buf.data(), m, n), fp::injected_fault);
+  expect_same(buf, src, "buffer touched before any pass ran");
+  EXPECT_EQ(ctx.stats().executions, 0u);
+  EXPECT_EQ(ctx.cached_bytes(), 0u);
+}
+
+TEST(OomLadder, EnvDrivenArmingDegradesProcessWide) {
+  const env_guard guard("INPLACE_FAILPOINTS", "exec.alloc.full:oom");
+  fp::reload_env();
+  const std::size_t m = 40;
+  const std::size_t n = 30;
+  const auto src = util::iota_matrix<float>(m, n);
+  auto buf = src;
+  transposer<float> tr(m, n);
+  EXPECT_EQ(tr.plan().rung, scratch_rung::reduced);
+  tr(buf.data());
+  expect_transposed(buf, src, m, n, "env-armed reduced rung");
+}
+
+TEST(OomLadder, ContextCountsDegradedArenasAndTelemetryRecordsTheRung) {
+  telemetry::collector col;
+  telemetry::scoped_sink sink(&col);
+  transpose_context ctx;
+  const std::size_t m = 64;
+  const std::size_t n = 48;
+  const auto src = util::iota_matrix<double>(m, n);
+  auto buf = src;
+  {
+    fp::scoped_trigger no_full("exec.alloc.full", fp::mode::oom);
+    ctx.transpose(buf.data(), m, n);
+  }
+  expect_transposed(buf, src, m, n, "degraded context execution");
+  EXPECT_EQ(ctx.stats().arenas_degraded, 1u);
+
+  // A second, unpressured execution of the same shape plans a fresh
+  // arena?  No — the degraded arena was recycled; its plan still carries
+  // the reduced rung, and the dedup table keeps the two rungs distinct.
+  bool saw_reduced = false;
+  for (const auto& pc : col.plan_counts()) {
+    if (std::string(pc.rec.rung) == "reduced") {
+      saw_reduced = true;
+    }
+  }
+  EXPECT_TRUE(saw_reduced) << "telemetry lost the degradation rung";
+}
+
+// --- async lifecycle ---------------------------------------------------------
+
+/// Settles every future and checks the per-job contract: completed jobs
+/// hold the transpose, cancelled jobs hold the untouched input and threw
+/// context_shutdown.  Returns how many were cancelled.
+template <typename T>
+std::size_t settle_all(std::vector<std::future<void>>& futs,
+                       std::vector<std::vector<T>>& bufs,
+                       const std::vector<T>& src, std::size_t rows,
+                       std::size_t cols) {
+  std::size_t cancelled = 0;
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    EXPECT_TRUE(futs[k].valid());
+    try {
+      futs[k].get();
+      expect_transposed(bufs[k], src, rows, cols, "completed async job");
+    } catch (const context_shutdown&) {
+      ++cancelled;
+      expect_same(bufs[k], src, "cancelled job must not touch its buffer");
+    }
+  }
+  return cancelled;
+}
+
+TEST(Async, DestructionSettlesEveryOutstandingFuture) {
+  const std::size_t m = 96;
+  const std::size_t n = 72;
+  const auto src = util::iota_matrix<double>(m, n);
+  constexpr std::size_t jobs = 24;
+  std::vector<std::vector<double>> bufs(jobs, src);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  std::size_t cancelled = 0;
+  {
+    context_options copts;
+    copts.workers = 1;  // one worker: most jobs are still queued at exit
+    transpose_context ctx(copts);
+    for (auto& buf : bufs) {
+      futs.push_back(ctx.submit(buf.data(), m, n));
+    }
+    // Context destroyed with jobs in flight and pending (the regression
+    // this PR fixes: these futures used to hang unsatisfied).
+  }
+  cancelled = settle_all(futs, bufs, src, m, n);
+  // With a single worker and immediate destruction, at least one job ran
+  // (drained or in flight) or was cancelled; all 24 are accounted for.
+  EXPECT_LE(cancelled, jobs);
+}
+
+TEST(Async, ShutdownDefaultFailsPendingAndCountsThem) {
+  const std::size_t m = 80;
+  const std::size_t n = 60;
+  const auto src = util::iota_matrix<double>(m, n);
+  constexpr std::size_t jobs = 16;
+  std::vector<std::vector<double>> bufs(jobs, src);
+  context_options copts;
+  copts.workers = 1;
+  transpose_context ctx(copts);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  for (auto& buf : bufs) {
+    futs.push_back(ctx.submit(buf.data(), m, n));
+  }
+  ctx.shutdown();  // drain_pending = false
+  const std::size_t cancelled = settle_all(futs, bufs, src, m, n);
+  EXPECT_EQ(ctx.stats().jobs_cancelled, cancelled);
+  EXPECT_EQ(ctx.stats().async_jobs, jobs);
+  // Idempotent: a second shutdown is a no-op.
+  ctx.shutdown();
+  EXPECT_EQ(ctx.stats().jobs_cancelled, cancelled);
+}
+
+TEST(Async, ShutdownDrainRunsEverythingAlreadyQueued) {
+  const std::size_t m = 64;
+  const std::size_t n = 40;
+  const auto src = util::iota_matrix<float>(m, n);
+  constexpr std::size_t jobs = 12;
+  std::vector<std::vector<float>> bufs(jobs, src);
+  context_options copts;
+  copts.workers = 2;
+  transpose_context ctx(copts);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  for (auto& buf : bufs) {
+    futs.push_back(ctx.submit(buf.data(), m, n));
+  }
+  ctx.shutdown(/*drain_pending=*/true);
+  for (auto& fut : futs) {
+    EXPECT_NO_THROW(fut.get());
+  }
+  for (const auto& buf : bufs) {
+    expect_transposed(buf, src, m, n, "drained job");
+  }
+  EXPECT_EQ(ctx.stats().jobs_cancelled, 0u);
+}
+
+TEST(Async, SubmitAfterShutdownThrowsContextShutdown) {
+  transpose_context ctx;
+  auto buf = util::iota_matrix<double>(8, 6);
+  ctx.shutdown();
+  EXPECT_THROW(
+      {
+        auto fut = ctx.submit(buf.data(), std::size_t{8}, std::size_t{6});
+        (void)fut;
+      },
+      context_shutdown);
+  // Synchronous entry points keep working after shutdown.
+  EXPECT_NO_THROW(ctx.transpose(buf.data(), 8, 6));
+}
+
+TEST(Async, CancelPendingFailsQueuedJobsButKeepsTheContextAlive) {
+  const std::size_t m = 72;
+  const std::size_t n = 54;
+  const auto src = util::iota_matrix<double>(m, n);
+  constexpr std::size_t jobs = 16;
+  std::vector<std::vector<double>> bufs(jobs, src);
+  context_options copts;
+  copts.workers = 1;
+  transpose_context ctx(copts);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  for (auto& buf : bufs) {
+    futs.push_back(ctx.submit(buf.data(), m, n));
+  }
+  const std::size_t reported = ctx.cancel_pending();
+  const std::size_t cancelled = settle_all(futs, bufs, src, m, n);
+  EXPECT_EQ(reported, cancelled);
+  EXPECT_EQ(ctx.stats().jobs_cancelled, cancelled);
+  // The pool survives a cancel: a fresh submit completes normally.
+  auto buf = src;
+  auto fut = ctx.submit(buf.data(), m, n);
+  EXPECT_NO_THROW(fut.get());
+  expect_transposed(buf, src, m, n, "submit after cancel_pending");
+}
+
+TEST(Async, BackpressureBoundsTheQueueWithoutLosingJobs) {
+  const std::size_t m = 48;
+  const std::size_t n = 32;
+  const auto src = util::iota_matrix<float>(m, n);
+  constexpr std::size_t jobs = 32;
+  std::vector<std::vector<float>> bufs(jobs, src);
+  context_options copts;
+  copts.workers = 1;
+  copts.max_queue = 1;  // every second submit must block and then resume
+  transpose_context ctx(copts);
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs);
+  for (auto& buf : bufs) {
+    futs.push_back(ctx.submit(buf.data(), m, n));
+  }
+  for (auto& fut : futs) {
+    EXPECT_NO_THROW(fut.get());
+  }
+  for (const auto& buf : bufs) {
+    expect_transposed(buf, src, m, n, "backpressured job");
+  }
+}
+
+TEST(Async, WorkerFaultStillSettlesTheFuture) {
+  const std::size_t m = 40;
+  const std::size_t n = 24;
+  const auto src = util::iota_matrix<double>(m, n);
+  transpose_context ctx;
+  auto buf = src;
+  {
+    fp::scoped_trigger armed("ctx.worker.job");
+    auto fut = ctx.submit(buf.data(), m, n);
+    EXPECT_THROW(fut.get(), fp::injected_fault);
+  }
+  expect_same(buf, src, "faulted worker must not touch the buffer");
+  // Disarmed, the next submit on the same pool completes.
+  auto fut = ctx.submit(buf.data(), m, n);
+  EXPECT_NO_THROW(fut.get());
+  expect_transposed(buf, src, m, n, "post-fault submit");
+}
+
+TEST(Async, EnqueueFaultLeavesNoDanglingFuture) {
+  const std::size_t m = 32;
+  const std::size_t n = 20;
+  const auto src = util::iota_matrix<double>(m, n);
+  transpose_context ctx;
+  auto buf = src;
+  {
+    fp::scoped_trigger armed("ctx.queue.push");
+    EXPECT_THROW(
+        {
+          auto fut = ctx.submit(buf.data(), m, n);
+          (void)fut;
+        },
+        fp::injected_fault);
+  }
+  expect_same(buf, src, "failed enqueue must not touch the buffer");
+  EXPECT_EQ(ctx.stats().async_jobs, 0u);  // never counted as enqueued
+  auto fut = ctx.submit(buf.data(), m, n);
+  EXPECT_NO_THROW(fut.get());
+}
+
+TEST(Async, PartialWorkerSpawnFailureCleansUpAndRecovers) {
+  const std::size_t m = 36;
+  const std::size_t n = 28;
+  const auto src = util::iota_matrix<double>(m, n);
+  context_options copts;
+  copts.workers = 4;
+  transpose_context ctx(copts);
+  auto buf = src;
+  {
+    // Thread 1 spawns; thread 2's spawn throws: the constructor must join
+    // the survivor and propagate, leaving no half-alive pool behind.
+    fp::scoped_trigger armed("ctx.spawn", fp::mode::fault, /*skip=*/1);
+    EXPECT_THROW(
+        {
+          auto fut = ctx.submit(buf.data(), m, n);
+          (void)fut;
+        },
+        fp::injected_fault);
+  }
+  expect_same(buf, src, "spawn failure must not touch the buffer");
+  // Disarmed, the lazy pool construction retries and succeeds.
+  auto fut = ctx.submit(buf.data(), m, n);
+  EXPECT_NO_THROW(fut.get());
+  expect_transposed(buf, src, m, n, "submit after recovered spawn");
+}
+
+// --- plan-cache / arena consistency under failure ----------------------------
+
+TEST(ArenaConsistency, ThrowingExecutionDropsTheArenaNotTheAccounting) {
+  transpose_context ctx;
+  const std::size_t m = 64;
+  const std::size_t n = 48;
+  const auto src = util::iota_matrix<double>(m, n);
+  auto buf = src;
+  {
+    fp::scoped_trigger armed("blocked.c2r.after_row_shuffle");
+    EXPECT_THROW(ctx.c2r(buf.data(), m, n), fp::injected_fault);
+  }
+  expect_same(buf, src, "context rollback");
+  auto s = ctx.stats();
+  EXPECT_EQ(s.executions, 1u);
+  EXPECT_EQ(s.arenas_created, 1u);
+  EXPECT_EQ(s.arenas_dropped, 1u);  // never recycled after a throw
+  EXPECT_EQ(ctx.cached_bytes(), 0u);
+
+  // The plan entry survives; the next call re-creates an arena and
+  // recycles it normally.
+  ctx.c2r(buf.data(), m, n);
+  expect_transposed(buf, src, m, n, "post-failure context execution");
+  s = ctx.stats();
+  EXPECT_EQ(s.plan_hits, 1u);
+  EXPECT_EQ(s.arenas_created, 2u);
+  EXPECT_EQ(s.arenas_created + s.arenas_reused, s.executions);
+  EXPECT_GT(ctx.cached_bytes(), 0u);
+}
+
+TEST(ArenaConsistency, FailingExecutionsRacingClearStayConserved) {
+  // Half the threads run a shape whose executions always fail (armed
+  // stage failpoint), half a healthy shape, while the main thread churns
+  // clear() — the counters must conserve and retained_bytes must not
+  // underflow (the recycle/evict race this PR fixes).
+  transpose_context ctx;
+  fp::scoped_trigger armed("reference.c2r.after_row_shuffle");
+  constexpr int workers = 6;
+  constexpr int iters = 25;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      options ref_opts;
+      ref_opts.engine = engine_kind::reference;
+      const auto healthy_src = util::iota_matrix<double>(48, 36);
+      const auto failing_src = util::iota_matrix<double>(40, 25);
+      for (int it = 0; it < iters; ++it) {
+        if (t % 2 == 0) {
+          auto buf = failing_src;
+          try {
+            ctx.c2r(buf.data(), 40, 25, ref_opts);
+            bad.fetch_add(1);  // must have thrown
+          } catch (const fp::injected_fault&) {
+            if (util::first_mismatch(std::span<const double>(buf),
+                                     std::span<const double>(failing_src)) !=
+                -1) {
+              bad.fetch_add(1);  // not restored
+            }
+          }
+        } else {
+          auto buf = healthy_src;
+          ctx.transpose(buf.data(), 48, 36);
+          const auto want = util::reference_transpose(
+              std::span<const double>(healthy_src), 48, 36);
+          if (util::first_mismatch(std::span<const double>(buf),
+                                   std::span<const double>(want)) != -1) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int k = 0; k < 50; ++k) {
+    ctx.clear();
+    std::this_thread::yield();
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.executions,
+            static_cast<std::uint64_t>(workers * iters));
+  EXPECT_EQ(s.arenas_created + s.arenas_reused, s.executions);
+  // No retained_bytes underflow: after a final clear the gauge reads 0,
+  // not a wrapped ~SIZE_MAX.
+  ctx.clear();
+  EXPECT_EQ(ctx.cached_bytes(), 0u);
+}
+
+}  // namespace

@@ -177,6 +177,54 @@ TEST(KernelCaches, RowKernelMinLineIgnoresGarbage) {
             kernels::probed_caches().l2_bytes);
 }
 
+// Regression (strict env parsing): strtoull's lenient grammar used to
+// accept these silently — "-1" negates and wraps to ULLONG_MAX, "12kb"
+// parses its digit prefix, overflow saturates with errno unchecked.
+// Every one must now fall back to the probed cache default.
+TEST(KernelCaches, StreamingThresholdRejectsPartialAndWrappingValues) {
+  const struct {
+    const char* value;
+    const char* why;
+  } rejected[] = {
+      {"-1", "negative wraps through strtoull"},
+      {"+1", "explicit sign"},
+      {"12kb", "trailing unit suffix"},
+      {"1e9", "scientific notation"},
+      {" 12", "leading whitespace"},
+      {"12 ", "trailing whitespace"},
+      {"0x10", "hex prefix"},
+      {"18446744073709551616", "overflows uint64 (ERANGE)"},
+      {"99999999999999999999999999", "far past ERANGE"},
+  };
+  for (const auto& r : rejected) {
+    const env_guard guard("INPLACE_NT_THRESHOLD", r.value);
+    EXPECT_EQ(kernels::streaming_threshold(),
+              kernels::probed_caches().l3_bytes)
+        << "accepted '" << r.value << "' (" << r.why << ")";
+  }
+  // The strict grammar still takes plain digit strings, zero included.
+  {
+    const env_guard guard("INPLACE_NT_THRESHOLD", "0");
+    EXPECT_EQ(kernels::streaming_threshold(), 0u);
+  }
+  {
+    const env_guard guard("INPLACE_NT_THRESHOLD", "4096");
+    EXPECT_EQ(kernels::streaming_threshold(), 4096u);
+  }
+}
+
+TEST(KernelCaches, RowKernelMinLineRejectsPartialAndWrappingValues) {
+  for (const char* value :
+       {"-1", "64k", "1_000", "18446744073709551616", "12.5"}) {
+    const env_guard guard("INPLACE_ROW_KERNEL_MIN_LINE", value);
+    EXPECT_EQ(kernels::row_kernel_min_line_bytes(),
+              kernels::probed_caches().l2_bytes)
+        << "accepted '" << value << "'";
+  }
+  const env_guard guard("INPLACE_ROW_KERNEL_MIN_LINE", "32768");
+  EXPECT_EQ(kernels::row_kernel_min_line_bytes(), 32768u);
+}
+
 TEST(KernelCaches, StreamingProfitability) {
   const env_guard guard("INPLACE_NT_THRESHOLD", "1024");
   // The scalar/neon tiers have no NT stores: never profitable.

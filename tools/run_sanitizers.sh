@@ -55,6 +55,16 @@ run_matrix_entry() {
   (cd "$build_dir" && INPLACE_FORCE_KERNEL_TIER=scalar \
      ctest --output-on-failure -j "$jobs" \
            -R 'Transpose|Skinny|Integration|Executor|Primitives')
+
+  # Third pass — failure semantics under injection: the whole process runs
+  # with the OOM ladder env-forced off its first rung while the suite's own
+  # stage faults fire on top.  Under the sanitizers this proves a failing
+  # (rolled-back or degraded) execution leaks nothing and scribbles
+  # nowhere.  Only the rollback/ladder suites run here: the Failpoint
+  # registry tests assert a pristine arming state and would fight the env.
+  echo "=== [$name] ctest failure semantics, INPLACE_FAILPOINTS=exec.alloc.full:oom"
+  (cd "$build_dir" && INPLACE_FAILPOINTS="exec.alloc.full:oom" \
+     ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder')
 }
 
 status=0
@@ -72,7 +82,7 @@ for entry in asan ubsan tsan; do
     tsan)
       TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:history_size=7" \
         run_matrix_entry tsan thread \
-        'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck' \
+        'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck|Async|ArenaConsistency' \
         || status=1
       ;;
   esac

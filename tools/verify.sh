@@ -33,6 +33,13 @@ cmake -B "$repo_root/build" -S "$repo_root"
 cmake --build "$repo_root/build" -j "$jobs"
 (cd "$repo_root/build" && ctest --output-on-failure -j "$jobs")
 
+echo "=== failure semantics: rollback/OOM-ladder suites with env-armed faults"
+# The whole ladder runs one rung down (every arena degrades) while the
+# suite's own stage faults fire on top; the rollback and restore
+# guarantees must hold under that combination too.
+(cd "$repo_root/build" && INPLACE_FAILPOINTS="exec.alloc.full:oom" \
+   ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder')
+
 if [[ $fast -eq 0 ]]; then
   "$repo_root/tools/run_sanitizers.sh" --only asan --jobs "$jobs"
   "$repo_root/tools/run_sanitizers.sh" --only ubsan --jobs "$jobs"
