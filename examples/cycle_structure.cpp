@@ -12,6 +12,7 @@
 
 #include "baselines/cycle_follow.hpp"
 #include "baselines/sung_tiled.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -52,8 +53,13 @@ int main(int argc, char** argv) {
   std::printf("(the decomposition replaces this with m independent rows "
               "and n/width independent column groups)\n\n");
   if (argc == 3) {
-    describe(std::strtoull(argv[1], nullptr, 10),
-             std::strtoull(argv[2], nullptr, 10));
+    const auto m = inplace::util::parse_u64(argv[1]);
+    const auto n = inplace::util::parse_u64(argv[2]);
+    if (!m || !n) {
+      std::fprintf(stderr, "usage: %s [m n]  (decimal extents)\n", argv[0]);
+      return 2;
+    }
+    describe(*m, *n);
     return 0;
   }
   for (auto [m, n] :

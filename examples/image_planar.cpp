@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cpu/soa.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -42,8 +43,8 @@ std::uint64_t blur_plane(const std::uint8_t* plane, std::size_t w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t w = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1920;
-  const std::size_t h = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1080;
+  const std::size_t w = inplace::util::parse_size_arg(argc, argv, 1, 1920);
+  const std::size_t h = inplace::util::parse_size_arg(argc, argv, 2, 1080);
   const std::size_t pixels = w * h;
   std::printf("image: %zux%zu, %zu interleaved channels (%.1f MB)\n", w, h,
               kChannels, double(pixels * kChannels) / 1e6);

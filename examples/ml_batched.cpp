@@ -14,16 +14,14 @@
 #include "core/executor.hpp"
 #include "core/transpose.hpp"
 #include "util/matrix.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace inplace;
-  const std::size_t batch =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
-  const std::size_t tokens =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 512;
-  const std::size_t features =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 384;
+  const std::size_t batch = util::parse_size_arg(argc, argv, 1, 24);
+  const std::size_t tokens = util::parse_size_arg(argc, argv, 2, 512);
+  const std::size_t features = util::parse_size_arg(argc, argv, 3, 384);
   std::printf("batch of %zu activation matrices, %zux%zu floats each "
               "(%.1f MB total)\n",
               batch, tokens, features,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cpu/soa.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -56,7 +57,7 @@ double step_soa(std::vector<float>& p, std::size_t count, float dt) {
 
 int main(int argc, char** argv) {
   const std::size_t count =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+      inplace::util::parse_size_arg(argc, argv, 1, 2'000'000);
   std::printf("particles: %zu (%zu fields each, %.1f MB)\n", count, kFields,
               double(count * kFields * sizeof(float)) / 1e6);
 

@@ -17,6 +17,7 @@
 
 #include "core/transpose.hpp"
 #include "util/matrix.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -57,8 +58,15 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  const std::size_t m = std::strtoull(argv[1], nullptr, 10);
-  const std::size_t n = std::strtoull(argv[2], nullptr, 10);
+  const auto m_arg = util::parse_size(argv[1]);
+  const auto n_arg = util::parse_size(argv[2]);
+  if (!m_arg || !n_arg) {
+    std::fprintf(stderr, "bad extents '%s' x '%s' (want decimal sizes)\n",
+                 argv[1], argv[2]);
+    return 2;
+  }
+  const std::size_t m = *m_arg;
+  const std::size_t n = *n_arg;
   options opts;
   std::string elem = "f64";
   int reps = 3;
@@ -90,10 +98,12 @@ int main(int argc, char** argv) {
     elem = argv[5];
   }
   if (argc > 6) {
-    reps = std::atoi(argv[6]);
-    if (reps < 1) {
-      reps = 1;
+    const auto reps_arg = util::parse_int(argv[6]);
+    if (!reps_arg) {
+      std::fprintf(stderr, "bad rep count '%s'\n", argv[6]);
+      return 2;
     }
+    reps = *reps_arg < 1 ? 1 : *reps_arg;
   }
   if (elem == "f32") {
     return run<float>(m, n, opts, reps);

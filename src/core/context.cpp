@@ -34,6 +34,11 @@ std::size_t context_key_hash::operator()(
 context_workers::context_workers(std::size_t count, std::size_t max_queue)
     : max_queue_(std::max<std::size_t>(1, max_queue)) {
   const std::size_t want = std::max<std::size_t>(1, count);
+  // threads_ is guarded by join_mu_; no shutdown() can race a running
+  // constructor, but holding the capability keeps the discipline uniform
+  // (and provable) across every threads_ access.  The workers spawned
+  // below contend only on mu_, never join_mu_, so no deadlock.
+  util::mutex_guard jlock(join_mu_);
   threads_.reserve(want);
   try {
     for (std::size_t k = 0; k < want; ++k) {
@@ -44,7 +49,7 @@ context_workers::context_workers(std::size_t count, std::size_t max_queue)
     // Partial spawn: stop and join the workers that did start, so the
     // half-built pool never escapes the constructor with live threads.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::mutex_guard lock(mu_);
       stopping_ = true;
     }
     cv_work_.notify_all();
@@ -61,10 +66,10 @@ context_workers::~context_workers() { shutdown(/*drain_pending=*/false); }
 
 void context_workers::enqueue(job j) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_space_.wait(lock, [this] {
-      return stopping_ || queue_.size() < max_queue_;
-    });
+    util::waitable_lock lock(mu_);
+    while (!stopping_ && queue_.size() >= max_queue_) {
+      lock.wait(cv_space_);
+    }
     if (stopping_) {
       throw context_shutdown(
           "inplace: submit on a transpose_context whose async machinery "
@@ -79,7 +84,7 @@ void context_workers::enqueue(job j) {
 std::size_t context_workers::cancel_pending() {
   std::deque<job> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::mutex_guard lock(mu_);
     doomed.swap(queue_);
   }
   cv_space_.notify_all();
@@ -91,7 +96,7 @@ std::size_t context_workers::cancel_pending() {
 std::size_t context_workers::shutdown(bool drain_pending) {
   std::deque<job> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::mutex_guard lock(mu_);
     if (!stopping_) {
       stopping_ = true;
       if (!drain_pending) {
@@ -108,7 +113,7 @@ std::size_t context_workers::shutdown(bool drain_pending) {
       "inplace: async transpose abandoned by context shutdown before it "
       "started (transpose_context::shutdown(drain_pending=false))");
   {
-    std::lock_guard<std::mutex> jlock(join_mu_);
+    util::mutex_guard jlock(join_mu_);
     for (auto& t : threads_) {
       if (t.joinable()) {
         t.join();
@@ -119,7 +124,7 @@ std::size_t context_workers::shutdown(bool drain_pending) {
 }
 
 std::size_t context_workers::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::mutex_guard lock(mu_);
   return queue_.size();
 }
 
@@ -142,8 +147,10 @@ void context_workers::worker_loop() {
   for (;;) {
     job fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::waitable_lock lock(mu_);
+      while (!stopping_ && queue_.empty()) {
+        lock.wait(cv_work_);
+      }
       if (queue_.empty()) {
         return;  // stop requested and nothing pending
       }
@@ -183,7 +190,7 @@ transpose_context::~transpose_context() {
 
 std::shared_ptr<detail::context_entry> transpose_context::acquire_entry(
     const detail::context_key& key, bool& hit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::mutex_guard lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     hit = true;
@@ -213,7 +220,7 @@ void transpose_context::evict_locked(lru_iter it) {
   std::size_t bytes = 0;
   std::size_t dropped = 0;
   {
-    std::lock_guard<std::mutex> elock(entry->mu);
+    util::mutex_guard elock(entry->mu);
     entry->evicted = true;
     for (const auto& [arena, b] : entry->arenas) {
       bytes += b;
@@ -241,7 +248,7 @@ context_stats transpose_context::stats() const {
 }
 
 std::size_t transpose_context::cached_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::mutex_guard lock(mu_);
   return map_.size();
 }
 
@@ -250,7 +257,7 @@ std::size_t transpose_context::cached_bytes() const {
 }
 
 void transpose_context::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::mutex_guard lock(mu_);
   while (!lru_.empty()) {
     evict_locked(std::prev(lru_.end()));
   }
@@ -259,7 +266,7 @@ void transpose_context::clear() {
 void transpose_context::shutdown(bool drain_pending) {
   detail::context_workers* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    util::mutex_guard lock(workers_mu_);
     shutdown_ = true;  // later submit()s fail before touching the pool
     pool = workers_.get();
   }
@@ -273,7 +280,7 @@ void transpose_context::shutdown(bool drain_pending) {
 std::size_t transpose_context::cancel_pending() {
   detail::context_workers* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    util::mutex_guard lock(workers_mu_);
     pool = workers_.get();
   }
   if (pool == nullptr) {
@@ -285,7 +292,7 @@ std::size_t transpose_context::cancel_pending() {
 }
 
 detail::context_workers& transpose_context::workers() {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  util::mutex_guard lock(workers_mu_);
   if (shutdown_) {
     throw context_shutdown(
         "inplace: submit on a transpose_context after shutdown()");

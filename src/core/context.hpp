@@ -44,6 +44,7 @@
 #include "core/errors.hpp"
 #include "core/executor.hpp"
 #include "core/failpoint.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace inplace {
 
@@ -157,9 +158,11 @@ inline constexpr char context_type_tag = 0;
 /// (transposer<T> instances — the key's type_tag pins T) plus their
 /// approximate retained bytes.
 struct context_entry {
-  std::mutex mu;
-  bool evicted = false;  ///< set at eviction; blocks further recycling
-  std::vector<std::pair<std::shared_ptr<void>, std::size_t>> arenas;
+  util::annotated_mutex mu;
+  /// Set at eviction; blocks further recycling.
+  bool evicted INPLACE_GUARDED_BY(mu) = false;
+  std::vector<std::pair<std::shared_ptr<void>, std::size_t>> arenas
+      INPLACE_GUARDED_BY(mu);
 };
 
 /// FIFO worker pool backing submit()/transpose_batch(), with bounded
@@ -193,35 +196,39 @@ class context_workers {
   /// (backpressure).  Throws context_shutdown once shutdown began; the
   /// job is then untouched (the caller still holds it and must settle
   /// its own promise — transpose_context::submit simply propagates).
-  void enqueue(job j);
+  void enqueue(job j) INPLACE_EXCLUDES(mu_);
 
   /// Fails every queued-but-unstarted job with context_shutdown
   /// ("cancelled") without stopping the pool.  Returns how many.
-  std::size_t cancel_pending();
+  std::size_t cancel_pending() INPLACE_EXCLUDES(mu_);
 
   /// Stops the pool: no further enqueues succeed.  drain_pending=true
   /// runs the queued jobs first; false fails them with context_shutdown.
   /// In-flight jobs always finish.  Joins the workers; idempotent and
   /// safe to call concurrently.  Returns how many jobs were failed.
-  std::size_t shutdown(bool drain_pending);
+  std::size_t shutdown(bool drain_pending)
+      INPLACE_EXCLUDES(mu_, join_mu_);
 
   /// Jobs queued but not yet picked up by a worker.
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const INPLACE_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() INPLACE_EXCLUDES(mu_);
 
   /// Settles `doomed` with a context_shutdown carrying `what`.
   static std::size_t fail_jobs(std::deque<job>&& doomed, const char* what);
 
-  mutable std::mutex mu_;
+  mutable util::annotated_mutex mu_;
   std::condition_variable cv_work_;   ///< workers: work available / stopping
   std::condition_variable cv_space_;  ///< producers: queue below the bound
-  std::deque<job> queue_;
-  bool stopping_ = false;
-  std::size_t max_queue_;
-  std::vector<std::thread> threads_;
-  std::mutex join_mu_;  ///< serializes the join in concurrent shutdowns
+  std::deque<job> queue_ INPLACE_GUARDED_BY(mu_);
+  bool stopping_ INPLACE_GUARDED_BY(mu_) = false;
+  const std::size_t max_queue_;  ///< immutable after construction
+  /// Serializes the join in concurrent shutdowns; ordered after mu_
+  /// (shutdown takes mu_ first, releases it, then joins under join_mu_ —
+  /// the two are never held together).
+  util::annotated_mutex join_mu_;
+  std::vector<std::thread> threads_ INPLACE_GUARDED_BY(join_mu_);
 };
 
 }  // namespace detail
@@ -359,13 +366,13 @@ class transpose_context {
   /// Finds (LRU-touching) or inserts the entry for `key`, evicting past
   /// max_plans.  Sets `hit` iff the key was already cached.
   std::shared_ptr<detail::context_entry> acquire_entry(
-      const detail::context_key& key, bool& hit);
+      const detail::context_key& key, bool& hit) INPLACE_EXCLUDES(mu_);
 
-  /// Drops one LRU node and its stored arenas (mu_ must be held).
-  void evict_locked(lru_iter it);
+  /// Drops one LRU node and its stored arenas.
+  void evict_locked(lru_iter it) INPLACE_REQUIRES(mu_);
 
   /// Lazily started worker pool for the async entry points.
-  detail::context_workers& workers();
+  detail::context_workers& workers() INPLACE_EXCLUDES(workers_mu_);
 
   template <typename T>
   void run(T* data, std::size_t rows, std::size_t cols,
@@ -394,7 +401,7 @@ class transpose_context {
     std::shared_ptr<void> arena;
     std::size_t arena_bytes = 0;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      util::mutex_guard lock(entry->mu);
       if (!entry->arenas.empty()) {
         arena = std::move(entry->arenas.back().first);
         arena_bytes = entry->arenas.back().second;
@@ -442,7 +449,7 @@ class transpose_context {
     const std::size_t bytes = tr->cached_bytes();
     bool recycled = false;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      util::mutex_guard lock(entry->mu);
       if (!entry->evicted && entry->arenas.size() < max_arenas_per_plan_ &&
           retained_bytes_.load(std::memory_order_relaxed) + bytes <=
               max_cached_bytes_) {
@@ -462,16 +469,19 @@ class transpose_context {
     }
   }
 
-  std::size_t max_plans_;
-  std::size_t max_arenas_per_plan_;
-  std::size_t max_cached_bytes_;
-  std::size_t worker_count_;
-  std::size_t max_queue_;
+  // Sizing knobs resolved at construction; const so no lock discipline
+  // applies (the linter's guarded-by rule audits every non-exempt field
+  // of a mutex-bearing class).
+  const std::size_t max_plans_;
+  const std::size_t max_arenas_per_plan_;
+  const std::size_t max_cached_bytes_;
+  const std::size_t worker_count_;
+  const std::size_t max_queue_;
 
-  mutable std::mutex mu_;  ///< guards lru_/map_
-  std::list<lru_node> lru_;
+  mutable util::annotated_mutex mu_;  ///< guards lru_/map_
+  std::list<lru_node> lru_ INPLACE_GUARDED_BY(mu_);
   std::unordered_map<detail::context_key, lru_iter, detail::context_key_hash>
-      map_;
+      map_ INPLACE_GUARDED_BY(mu_);
 
   std::atomic<std::size_t> retained_bytes_{0};
   std::atomic<std::uint64_t> executions_{0};
@@ -487,10 +497,13 @@ class transpose_context {
 
   /// Guards lazy worker start and the shutdown flag (a mutex, not a
   /// once_flag: shutdown() must observe and stop a pool that a racing
-  /// submit() is still creating).
-  std::mutex workers_mu_;
-  bool shutdown_ = false;
-  std::unique_ptr<detail::context_workers> workers_;
+  /// submit() is still creating).  The pool pointer is guarded; the pool
+  /// *object* is internally synchronized, so shutdown()/cancel_pending()
+  /// legitimately copy the raw pointer out and call it unlocked.
+  util::annotated_mutex workers_mu_;
+  bool shutdown_ INPLACE_GUARDED_BY(workers_mu_) = false;
+  std::unique_ptr<detail::context_workers> workers_
+      INPLACE_GUARDED_BY(workers_mu_);
 };
 
 /// The process-wide context the free functions in core/transpose.hpp

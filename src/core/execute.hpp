@@ -170,7 +170,7 @@ void run_cycle_follow(T* data, const transpose_plan& plan) {
 template <typename T, typename Math>
 void rollback_stages(T* data, const Math& mm, const transpose_plan& plan,
                      workspace<T>* ws, workspace_pool<T>* pool,
-                     const stage_progress& prog) {
+                     const stage_progress& prog) noexcept {
   if (!prog.dirty() || !prog.at_boundary()) {
     return;
   }

@@ -1,13 +1,14 @@
 #include "core/failpoint.hpp"
 
 #include <atomic>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/annotated_mutex.hpp"
+#include "util/parse.hpp"
 
 namespace inplace::failpoint {
 
@@ -23,11 +24,11 @@ struct entry {
 };
 
 struct registry {
-  std::mutex mu;
-  std::unordered_map<std::string, entry> map;
+  util::annotated_mutex mu;
+  std::unordered_map<std::string, entry> map INPLACE_GUARDED_BY(mu);
   /// Retired names keep their counters after disarm so tests can assert
   /// hits()/fires() once a scoped_trigger has gone out of scope.
-  std::unordered_map<std::string, entry> retired;
+  std::unordered_map<std::string, entry> retired INPLACE_GUARDED_BY(mu);
 };
 
 std::atomic<std::uint64_t> armed_count{0};
@@ -56,28 +57,20 @@ mode parse_mode(const char* text, bool& ok) {
 }
 
 bool parse_u64(const std::string& text, std::uint64_t& out) {
-  if (text.empty()) {
+  const auto v = util::parse_u64(text);
+  if (!v) {
     return false;
   }
-  for (const char c : text) {
-    if (c < '0' || c > '9') {
-      return false;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
-    return false;
-  }
-  out = v;
+  out = *v;
   return true;
 }
 
 /// Parses one INPLACE_FAILPOINTS entry "name[:mode[:skip[:count]]]" and
-/// arms it (caller holds reg().mu).  Malformed entries warn and are
-/// skipped — injection must never silently change meaning.
-void arm_env_entry_locked(registry& r, const std::string& spec) {
+/// arms it (caller holds r.mu — enforced by the analysis).  Malformed
+/// entries warn and are skipped — injection must never silently change
+/// meaning.
+void arm_env_entry_locked(registry& r, const std::string& spec)
+    INPLACE_REQUIRES(r.mu) {
   std::string fields[4];
   std::size_t field = 0;
   for (const char c : spec) {
@@ -112,7 +105,7 @@ void arm_env_entry_locked(registry& r, const std::string& spec) {
   }
 }
 
-void reload_env_locked(registry& r) {
+void reload_env_locked(registry& r) INPLACE_REQUIRES(r.mu) {
   // Drop previous env-armed triggers (programmatic ones stay).
   for (auto it = r.map.begin(); it != r.map.end();) {
     if (it->second.from_env) {
@@ -146,7 +139,7 @@ void reload_env_locked(registry& r) {
 registry& env_initialized_reg() {
   static registry& r = [&]() -> registry& {
     registry& inner = reg();
-    std::lock_guard<std::mutex> lock(inner.mu);
+    util::mutex_guard lock(inner.mu);
     reload_env_locked(inner);
     return inner;
   }();
@@ -157,7 +150,7 @@ registry& env_initialized_reg() {
 
 void arm(const char* name, mode m, std::uint64_t skip, std::uint64_t count) {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   entry e;
   e.m = m;
   e.skip = skip;
@@ -169,7 +162,7 @@ void arm(const char* name, mode m, std::uint64_t skip, std::uint64_t count) {
 
 bool disarm(const char* name) {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   const auto it = r.map.find(name);
   if (it == r.map.end()) {
     return false;
@@ -182,7 +175,7 @@ bool disarm(const char* name) {
 
 void disarm_all() {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   for (const auto& [name, e] : r.map) {
     r.retired[name] = e;
   }
@@ -192,7 +185,7 @@ void disarm_all() {
 
 std::uint64_t hits(const char* name) {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   if (const auto it = r.map.find(name); it != r.map.end()) {
     return it->second.hits;
   }
@@ -204,7 +197,7 @@ std::uint64_t hits(const char* name) {
 
 std::uint64_t fires(const char* name) {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   if (const auto it = r.map.find(name); it != r.map.end()) {
     return it->second.fires;
   }
@@ -223,7 +216,7 @@ void trigger(const char* name) {
   bool fire = false;
   {
     registry& r = env_initialized_reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    util::mutex_guard lock(r.mu);
     const auto it = r.map.find(name);
     if (it == r.map.end()) {
       return;
@@ -250,7 +243,7 @@ void trigger(const char* name) {
 
 void reload_env() {
   registry& r = env_initialized_reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::mutex_guard lock(r.mu);
   reload_env_locked(r);
 }
 

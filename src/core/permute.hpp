@@ -59,6 +59,9 @@ class shuffle_coverage {
  public:
   explicit shuffle_coverage(std::uint64_t size) : size_(size) {
     if (stamps_.size() < size) {
+      // inplace-lint: allow-next(raw-alloc): checked-mode-only coverage
+      // tracker; thread-local, grows monotonically to max(size) and is
+      // absent from release builds (INPLACE_CHECKS_ENABLED gate)
       stamps_.resize(static_cast<std::size_t>(size), 0);
     }
     gen_ = ++generation_;
@@ -105,6 +108,9 @@ struct workspace {
   util::aligned_vector<std::uint64_t> index;  ///< kernel gather offsets
 
   void reserve(std::uint64_t m, std::uint64_t n, std::uint64_t width) {
+    // inplace-lint: allow-block(raw-alloc): this IS the audited scratch
+    // funnel — acquire_scratch sizes every workspace through here, once
+    // per plan, before the engines run (Theorem 6's O(max(m,n)) bound)
     line.resize(static_cast<std::size_t>(std::max(m, n)));
     head.resize(static_cast<std::size_t>(width * width));
     subrow.resize(static_cast<std::size_t>(width));
@@ -112,6 +118,7 @@ struct workspace {
     offsets.resize(static_cast<std::size_t>(width));
     index.resize(static_cast<std::size_t>(width));
     cycle_starts.clear();
+    // inplace-lint: end-block
     INPLACE_ENSURE(line.size() >= std::max(m, n),
                    "workspace line smaller than max(m, n) — Theorem 6's "
                    "scratch bound");
@@ -264,6 +271,9 @@ void find_cycles(std::uint64_t m, PermFn perm,
     if (first == y) {
       continue;  // fixed point
     }
+    // inplace-lint: allow-next(raw-alloc): cycle discovery appends into
+    // workspace-owned storage bounded by m; the vector is reused (and
+    // its capacity retained) across executions via the arena cache
     cycle_starts.push_back(y);
     for (std::uint64_t i = first; i != y; i = perm(i)) {
       INPLACE_CHECK(i < m, "row permutation index out of range");

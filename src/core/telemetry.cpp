@@ -39,7 +39,7 @@ int& span_depth() {
 }
 
 void collector::on_span(const span_record& rec) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   ++spans_seen_;
   auto& total = totals_[static_cast<std::size_t>(rec.s)];
   ++total.calls;
@@ -53,7 +53,7 @@ void collector::on_span(const span_record& rec) {
 }
 
 void collector::on_plan(const plan_record& rec) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   ++plans_seen_;
   for (auto& entry : plans_) {
     if (same_plan(entry.rec, rec)) {
@@ -69,37 +69,37 @@ void collector::on_plan(const plan_record& rec) {
 }
 
 std::vector<span_record> collector::raw_spans() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return spans_;
 }
 
 std::array<stage_total, stage_count> collector::totals() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return totals_;
 }
 
 std::vector<collector::plan_count> collector::plan_counts() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return plans_;
 }
 
 std::uint64_t collector::spans_seen() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return spans_seen_;
 }
 
 std::uint64_t collector::plans_seen() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return plans_seen_;
 }
 
 bool collector::plans_truncated() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   return plans_truncated_;
 }
 
 void collector::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::mutex_guard lock(mu_);
   spans_.clear();
   totals_ = {};
   plans_.clear();

@@ -28,8 +28,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace inplace::telemetry {
 
@@ -146,30 +147,33 @@ class collector final : public sink {
 
   explicit collector(std::size_t raw_cap = 4096) : raw_cap_(raw_cap) {}
 
-  void on_span(const span_record& rec) override;
-  void on_plan(const plan_record& rec) override;
+  void on_span(const span_record& rec) override INPLACE_EXCLUDES(mu_);
+  void on_plan(const plan_record& rec) override INPLACE_EXCLUDES(mu_);
 
-  [[nodiscard]] std::vector<span_record> raw_spans() const;
-  [[nodiscard]] std::array<stage_total, stage_count> totals() const;
-  [[nodiscard]] std::vector<plan_count> plan_counts() const;
-  [[nodiscard]] std::uint64_t spans_seen() const;
-  [[nodiscard]] std::uint64_t plans_seen() const;
+  [[nodiscard]] std::vector<span_record> raw_spans() const
+      INPLACE_EXCLUDES(mu_);
+  [[nodiscard]] std::array<stage_total, stage_count> totals() const
+      INPLACE_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<plan_count> plan_counts() const
+      INPLACE_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t spans_seen() const INPLACE_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t plans_seen() const INPLACE_EXCLUDES(mu_);
   /// True when distinct plan shapes exceeded the dedup table and were
   /// folded into plans_seen() only.
-  [[nodiscard]] bool plans_truncated() const;
-  void clear();
+  [[nodiscard]] bool plans_truncated() const INPLACE_EXCLUDES(mu_);
+  void clear() INPLACE_EXCLUDES(mu_);
 
  private:
   static constexpr std::size_t plan_table_cap = 64;
 
-  mutable std::mutex mu_;
-  std::size_t raw_cap_;
-  std::vector<span_record> spans_;
-  std::array<stage_total, stage_count> totals_{};
-  std::vector<plan_count> plans_;
-  std::uint64_t spans_seen_ = 0;
-  std::uint64_t plans_seen_ = 0;
-  bool plans_truncated_ = false;
+  mutable util::annotated_mutex mu_;
+  const std::size_t raw_cap_;  ///< immutable after construction
+  std::vector<span_record> spans_ INPLACE_GUARDED_BY(mu_);
+  std::array<stage_total, stage_count> totals_ INPLACE_GUARDED_BY(mu_){};
+  std::vector<plan_count> plans_ INPLACE_GUARDED_BY(mu_);
+  std::uint64_t spans_seen_ INPLACE_GUARDED_BY(mu_) = 0;
+  std::uint64_t plans_seen_ INPLACE_GUARDED_BY(mu_) = 0;
+  bool plans_truncated_ INPLACE_GUARDED_BY(mu_) = false;
 };
 
 // --- compile-time-gated hooks ------------------------------------------------

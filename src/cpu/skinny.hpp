@@ -32,6 +32,8 @@ namespace inplace::detail {
 
 template <typename T>
 void reserve_skinny(workspace<T>& ws, std::uint64_t m, std::uint64_t n) {
+  // inplace-lint: allow-next(raw-alloc): acquisition-funnel entry — the
+  // skinny engine sizes its workspace here, before any stage runs
   ws.reserve(m, n, /*width=*/n);
 }
 

@@ -1,0 +1,131 @@
+#pragma once
+// Strict, validating numeric parsing — the designated funnel for
+// turning external text (argv values, config fields) into integers.
+//
+// The project invariant (enforced by tools/lint/inplace-lint's
+// naked-strtol rule) is that no example, tool, or execution-path code
+// calls strtol/strtoul/strtoull/strtod/atoi directly: those APIs accept
+// trailing garbage, wrap negatives through unsigned, and return 0 for
+// "no digits at all", so a typo like "3x2" or an empty string silently
+// becomes a matrix shape.  Call sites either use the helpers below or
+// live inside one of the audited parsing funnels the linter allowlists
+// (util/json.hpp, util/bench_harness.cpp, cpu/kernels/kernel_set.cpp).
+//
+// Grammar: decimal digits only.  No sign (except parse_int's leading
+// '-'), no whitespace, no 0x prefix, no partial consumption; overflow
+// is a parse failure, not saturation.
+
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace inplace::util {
+
+/// Parses a complete string of decimal digits into a u64.  Rejects
+/// empty input, any non-digit byte, and overflow — the strict
+/// complement of strtoull's permissiveness.
+[[nodiscard]] constexpr std::optional<std::uint64_t> parse_u64(
+    std::string_view text) noexcept {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // would overflow: fail, never saturate
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// parse_u64 narrowed to std::size_t (the two differ on 32-bit
+/// targets, so the range check is not vacuous everywhere).
+[[nodiscard]] constexpr std::optional<std::size_t> parse_size(
+    std::string_view text) noexcept {
+  const auto v = parse_u64(text);
+  if (!v || *v > std::numeric_limits<std::size_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+/// Decimal int with one optional leading '-'; same strictness.
+[[nodiscard]] constexpr std::optional<int> parse_int(
+    std::string_view text) noexcept {
+  bool negative = false;
+  if (!text.empty() && text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  const auto magnitude = parse_u64(text);
+  if (!magnitude) {
+    return std::nullopt;
+  }
+  constexpr auto int_max =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  if (negative) {
+    if (*magnitude > int_max + 1) {
+      return std::nullopt;
+    }
+    return static_cast<int>(-static_cast<std::int64_t>(*magnitude));
+  }
+  if (*magnitude > int_max) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*magnitude);
+}
+
+/// Full-consumption double parse: the entire token must be one number
+/// (strtod's grammar, minus its leading-whitespace skip), and range
+/// overflow is a failure.  Delegates to strtod for the float grammar —
+/// this function is the audited wrapper the naked-strtol rule points to.
+[[nodiscard]] inline std::optional<double> parse_f64(
+    std::string_view text) noexcept {
+  char buf[64];
+  if (text.empty() || text.size() >= sizeof(buf) ||
+      std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    return std::nullopt;
+  }
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Optional positional size argument for example/tool main()s:
+/// argv[index] if present (strictly parsed), `fallback` if absent.  A
+/// malformed value is a usage error — the process prints a diagnostic
+/// naming the offending argument and exits with status 2, because a
+/// demo run on a silently-zero shape measures nothing.
+[[nodiscard]] inline std::size_t parse_size_arg(int argc, char** argv,
+                                               int index,
+                                               std::size_t fallback) {
+  if (index >= argc) {
+    return fallback;
+  }
+  if (const auto v = parse_size(argv[index])) {
+    return *v;
+  }
+  std::fprintf(stderr, "%s: argument %d ('%s') is not a decimal size\n",
+               argv[0], index, argv[index]);
+  std::exit(2);
+}
+
+}  // namespace inplace::util

@@ -21,6 +21,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/context.hpp"
@@ -148,6 +149,18 @@ TEST(Failpoint, EnvArmsReloadsAndRejectsMalformedEntries) {
 }
 
 // --- stage-boundary rollback -------------------------------------------------
+
+// Regression (noexcept audit): rollback_stages runs inside a catch block
+// while the engine's exception is in flight; if the rollback itself could
+// throw, the unwind would escalate to std::terminate.  The "never throws"
+// contract is part of the signature, proven here at compile time.
+static_assert(noexcept(detail::rollback_stages(
+    static_cast<double*>(nullptr),
+    std::declval<const transpose_math<fast_divmod>&>(),
+    std::declval<const transpose_plan&>(),
+    static_cast<detail::workspace<double>*>(nullptr),
+    static_cast<detail::workspace_pool<double>*>(nullptr),
+    std::declval<const detail::stage_progress&>())));
 
 /// Arms `name`, runs a directed transposition of src through a fresh
 /// transposer, and asserts the injected failure left the buffer

@@ -1,0 +1,12 @@
+// Seeded violations: bare strtoull/atoi in a CLI — "3x2" silently
+// becomes extent 3 and "" becomes 0, so a demo would measure the wrong
+// shape without a word of warning.  util/parse.hpp is the fix.
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  const unsigned long long m =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;  // EXPECT-LINT: naked-strtol
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;  // EXPECT-LINT: naked-strtol
+  return static_cast<int>(m) + reps > 0 ? 0 : 1;
+}

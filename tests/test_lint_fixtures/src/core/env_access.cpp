@@ -1,0 +1,14 @@
+// Seeded violation: direct environment read outside the audited funnels
+// (parse_env_size / parse_bench_args / the failpoint + contract-abort
+// bootstraps) — undocumented configuration the operator cannot discover.
+
+#include <cstdlib>
+
+namespace fixture {
+
+int tuning_knob() {
+  const char* env = std::getenv("INPLACE_FIXTURE_KNOB");  // EXPECT-LINT: env-access
+  return env != nullptr ? 1 : 0;
+}
+
+}  // namespace fixture

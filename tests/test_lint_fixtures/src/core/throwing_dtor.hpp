@@ -1,0 +1,25 @@
+#pragma once
+// Seeded violations: a rollback-path function missing noexcept and a
+// destructor that throws.  Both run while another exception may be in
+// flight, where a second throw is std::terminate.
+
+namespace fixture {
+
+inline void rollback_partial(int* data) {  // EXPECT-LINT: noexcept-audit
+  data[0] = 0;
+}
+
+class scoped_marker {
+ public:
+  explicit scoped_marker(bool armed) : armed_(armed) {}
+  ~scoped_marker() {
+    if (armed_) {
+      throw 1;  // EXPECT-LINT: noexcept-audit
+    }
+  }
+
+ private:
+  const bool armed_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+#pragma once
+// Seeded violations: a mutex-owning class with a field that escaped the
+// GUARDED_BY sweep, a raw std::mutex member bypassing the annotated
+// wrapper, and a TSA opt-out with no allow() justification.
+
+#include <cstddef>
+#include <mutex>
+
+namespace fixture {
+
+class plan_cache {
+ public:
+  void touch(std::size_t key);
+  std::size_t hits() const;
+
+ private:
+  mutable util::annotated_mutex mu_;
+  std::size_t hits_ INPLACE_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ = 0;  // EXPECT-LINT: mutex-discipline
+  std::mutex legacy_mu_;  // EXPECT-LINT: mutex-discipline
+};
+
+void drain_queue_unchecked() INPLACE_NO_THREAD_SAFETY_ANALYSIS;  // EXPECT-LINT: mutex-discipline
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Seeded violation: AVX2 intrinsics outside their
+// INPLACE_KERNEL_COMPILE_AVX2 region, in a TU with no -mavx2 compile
+// flag — a baseline (SSE2-only) build would fault with SIGILL at run
+// time on older hardware.  The guarded function is fine.
+
+#include <cstdint>
+
+#if defined(INPLACE_KERNEL_COMPILE_AVX2)
+#include <immintrin.h>
+
+void copy_guarded(std::uint8_t* d, const std::uint8_t* s) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(d), v);
+}
+#endif
+
+void copy_leaked(float* d, const float* s) {
+  const __m256 v = _mm256_loadu_ps(s);  // EXPECT-LINT: isa-hygiene
+  _mm256_storeu_ps(d, v);  // EXPECT-LINT: isa-hygiene
+}

@@ -1,0 +1,18 @@
+#pragma once
+// Seeded violation: a stage boundary with span + rollback registration
+// but no INPLACE_FAILPOINT — fault injection could never exercise this
+// boundary, so the rollback path would ship untested.
+
+namespace fixture {
+
+template <typename T>
+void engine_pass_without_failpoint(T* a, int* prog) {
+  {
+    INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle, 0, 0);
+    begin_stage(prog, stage_id::row_shuffle);
+    a[0] = a[0];
+    end_stage(prog);  // EXPECT-LINT: stage-pairing
+  }
+}
+
+}  // namespace fixture

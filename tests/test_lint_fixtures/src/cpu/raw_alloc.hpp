@@ -1,0 +1,17 @@
+#pragma once
+// Seeded violations: allocation on an execution path.  The first two
+// are bare; the third carries a suppression WITHOUT a reason, which must
+// not suppress (reasonless allow() comments are ignored with a warning).
+
+namespace fixture {
+
+template <typename T>
+void hot_path(std::vector<T>& scratch, T* a, std::size_t n) {
+  scratch.resize(n);  // EXPECT-LINT: raw-alloc
+  T* extra = new T[n];  // EXPECT-LINT: raw-alloc
+  a[0] = extra[0];
+  delete[] extra;
+  scratch.push_back(a[0]);  // inplace-lint: allow(raw-alloc) EXPECT-LINT: raw-alloc
+}
+
+}  // namespace fixture

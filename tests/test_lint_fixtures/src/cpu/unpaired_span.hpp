@@ -1,0 +1,16 @@
+#pragma once
+// Seeded violation: a stage executes (begin/end/failpoint) without a
+// telemetry span — the stage's wall time would vanish from every bench
+// attribution table while still moving 2*m*n*elem bytes.
+
+namespace fixture {
+
+template <typename T>
+void engine_pass_without_span(T* a, int* prog) {
+  begin_stage(prog, stage_id::row_shuffle);  // EXPECT-LINT: stage-pairing
+  a[0] = a[0];
+  end_stage(prog);
+  INPLACE_FAILPOINT("fixture.after_row_shuffle");
+}
+
+}  // namespace fixture

@@ -17,6 +17,7 @@
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
 #include "util/matrix.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/threads.hpp"
@@ -25,6 +26,40 @@
 namespace {
 
 using namespace inplace::util;
+
+// --- strict parsing (util/parse.hpp) ----------------------------------------
+//
+// Regression: example and tool CLIs used bare strtoull/atoi, so "3x2",
+// "", or "-1" silently became shape 3 (or 0, or a 64-bit wrap).  The
+// strict funnel rejects anything but a complete decimal token.
+
+static_assert(parse_u64("42") == 42u);  // usable in constant expressions
+static_assert(!parse_u64("4 2").has_value());
+
+TEST(Parse, U64AcceptsOnlyFullDecimalTokens) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("007"), 7u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  for (const char* bad : {"", "3x2", " 7", "7 ", "-1", "+1", "0x10", "1e3",
+                          "18446744073709551616", "99999999999999999999"}) {
+    EXPECT_FALSE(parse_u64(bad).has_value()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(Parse, SizeNarrowsU64) {
+  EXPECT_EQ(parse_size("4096"), std::size_t{4096});
+  EXPECT_FALSE(parse_size("one").has_value());
+}
+
+TEST(Parse, IntHandlesSignAndRange) {
+  EXPECT_EQ(parse_int("-2147483648"), std::numeric_limits<int>::min());
+  EXPECT_EQ(parse_int("2147483647"), std::numeric_limits<int>::max());
+  EXPECT_EQ(parse_int("-0"), 0);
+  for (const char* bad : {"2147483648", "-2147483649", "--1", "-", "", "1.5"}) {
+    EXPECT_FALSE(parse_int(bad).has_value()) << "accepted: '" << bad << "'";
+  }
+}
 
 // --- rng --------------------------------------------------------------------
 

@@ -20,6 +20,7 @@
 
 #include "util/bench_compare.hpp"
 #include "util/json.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -196,9 +197,19 @@ int main(int argc, char** argv) {
     if (arg == "--allow-missing") {
       opt.fail_on_missing = false;
     } else if (arg == "--threshold" && k + 1 < argc) {
-      opt.rel_threshold = std::stod(argv[++k]);
+      const auto v = util::parse_f64(argv[++k]);
+      if (!v) {
+        std::fprintf(stderr, "bench_gate: bad --threshold '%s'\n", argv[k]);
+        return usage();
+      }
+      opt.rel_threshold = *v;
     } else if (arg == "--mad-k" && k + 1 < argc) {
-      opt.mad_k = std::stod(argv[++k]);
+      const auto v = util::parse_f64(argv[++k]);
+      if (!v) {
+        std::fprintf(stderr, "bench_gate: bad --mad-k '%s'\n", argv[k]);
+        return usage();
+      }
+      opt.mad_k = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "bench_gate: unknown flag %s\n", arg.c_str());
       return usage();

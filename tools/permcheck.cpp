@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/verify.hpp"
+#include "util/parse.hpp"
 #include "util/threads.hpp"
 
 namespace {
@@ -64,12 +65,30 @@ int main(int argc, char** argv) {
       }
       return argv[++k];
     };
+    // Strict parses: "512x" or "" must be a usage error, not extent 512
+    // (or 0) — an acceptance sweep over the wrong range proves nothing.
+    auto u64_value = [&]() -> std::uint64_t {
+      const char* text = value();
+      if (const auto v = inplace::util::parse_u64(text)) {
+        return *v;
+      }
+      std::fprintf(stderr, "permcheck: %s wants a decimal value, got '%s'\n",
+                   arg.c_str(), text);
+      std::exit(2);
+    };
     if (arg == "--min") {
-      opt.min_extent = std::strtoull(value(), nullptr, 10);
+      opt.min_extent = u64_value();
     } else if (arg == "--max") {
-      opt.max_extent = std::strtoull(value(), nullptr, 10);
+      opt.max_extent = u64_value();
     } else if (arg == "--threads") {
-      threads = std::atoi(value());
+      const char* text = value();
+      const auto t = inplace::util::parse_int(text);
+      if (!t) {
+        std::fprintf(stderr, "permcheck: --threads wants an integer, got '%s'\n",
+                     text);
+        std::exit(2);
+      }
+      threads = *t;
     } else if (arg == "--plain-divmod") {
       opt.use_plain_divmod = true;
     } else if (arg == "--quiet" || arg == "-q") {

@@ -6,6 +6,8 @@
 #
 #   tools/run_sanitizers.sh                # asan + ubsan (full), tsan (mt)
 #   tools/run_sanitizers.sh --only asan    # one sanitizer
+#   tools/run_sanitizers.sh --only tsa     # clang Thread Safety Analysis
+#                                          # compile-time proof (build only)
 #   tools/run_sanitizers.sh --jobs 8       # parallel build/test width
 #
 # TSan note: libgomp is not TSan-instrumented, so the thread-sanitized run
@@ -23,7 +25,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --only) only="$2"; shift 2 ;;
     --jobs) jobs="$2"; shift 2 ;;
-    *) echo "usage: $0 [--only asan|ubsan|tsan] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--only asan|ubsan|tsan|tsa] [--jobs N]" >&2; exit 2 ;;
   esac
 done
 
@@ -67,9 +69,42 @@ run_matrix_entry() {
      ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder')
 }
 
+# Compile-time companion to the TSan runtime entry: a clang build with
+# -Wthread-safety promoted to errors, proving the locking protocol encoded
+# by the capability annotations in src/util/annotated_mutex.hpp.  This is
+# a build-only pass (the proof IS the compile); the binaries are discarded.
+# Not part of the default matrix — clang is optional in this project's
+# toolchain, so the entry skips loudly when it is absent.
+run_tsa_entry() {
+  local build_dir="$repo_root/build-tsa"
+
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "!!! [tsa] clang++ not found — SKIPPING the Thread Safety" >&2
+    echo "!!! Analysis proof.  The INPLACE_GUARDED_BY/INPLACE_REQUIRES" >&2
+    echo "!!! annotations compile to no-ops under GCC; install clang to" >&2
+    echo "!!! verify lock discipline at compile time." >&2
+    return 0
+  fi
+
+  echo "=== [tsa] configure + build (clang, -Wthread-safety as errors)"
+  cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DINPLACE_THREAD_SAFETY=ON \
+        -DINPLACE_BUILD_BENCH=OFF \
+        -DINPLACE_BUILD_EXAMPLES=OFF > "$build_dir.configure.log" 2>&1 \
+    || { cat "$build_dir.configure.log" >&2; return 1; }
+  cmake --build "$build_dir" -j "$jobs" > "$build_dir.build.log" 2>&1 \
+    || { tail -50 "$build_dir.build.log" >&2; return 1; }
+  echo "=== [tsa] lock-discipline proof clean"
+}
+
 status=0
-for entry in asan ubsan tsan; do
+for entry in asan ubsan tsan tsa; do
   [[ -n "$only" && "$only" != "$entry" ]] && continue
+  # TSA is opt-in (--only tsa): it proves at compile time what the TSan
+  # runtime entry probes dynamically, and requires clang.
+  [[ -z "$only" && "$entry" == "tsa" ]] && continue
   case "$entry" in
     asan)
       ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
@@ -84,6 +119,9 @@ for entry in asan ubsan tsan; do
         run_matrix_entry tsan thread \
         'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck|Async|ArenaConsistency' \
         || status=1
+      ;;
+    tsa)
+      run_tsa_entry || status=1
       ;;
   esac
 done
