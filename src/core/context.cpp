@@ -11,7 +11,10 @@ namespace detail {
 std::size_t context_key_hash::operator()(
     const context_key& k) const noexcept {
   // FNV-1a over the key fields; the packed byte word keeps the four
-  // enum-ish fields from washing each other out.
+  // enum-ish fields from washing each other out.  The multiplicative mix
+  // diffuses every field into the high bits too — context_shard_index
+  // stripes on those, and the dispersion test in tests/test_context.cpp
+  // holds this hash to a chi-square bound over adversarial shape sweeps.
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -31,147 +34,26 @@ std::size_t context_key_hash::operator()(
   return static_cast<std::size_t>(h);
 }
 
-context_workers::context_workers(std::size_t count, std::size_t max_queue)
-    : max_queue_(std::max<std::size_t>(1, max_queue)) {
-  const std::size_t want = std::max<std::size_t>(1, count);
-  // threads_ is guarded by join_mu_; no shutdown() can race a running
-  // constructor, but holding the capability keeps the discipline uniform
-  // (and provable) across every threads_ access.  The workers spawned
-  // below contend only on mu_, never join_mu_, so no deadlock.
-  util::mutex_guard jlock(join_mu_);
-  threads_.reserve(want);
-  try {
-    for (std::size_t k = 0; k < want; ++k) {
-      INPLACE_FAILPOINT("ctx.spawn");
-      threads_.emplace_back([this] { worker_loop(); });
-    }
-  } catch (...) {
-    // Partial spawn: stop and join the workers that did start, so the
-    // half-built pool never escapes the constructor with live threads.
-    {
-      util::mutex_guard lock(mu_);
-      stopping_ = true;
-    }
-    cv_work_.notify_all();
-    for (auto& t : threads_) {
-      if (t.joinable()) {
-        t.join();
-      }
-    }
-    throw;
-  }
+namespace {
+
+/// Resolves context_options::cache_shards: 0 means the default, then
+/// round up to a power of two (context_shard_index needs one) and clamp.
+std::size_t resolve_shard_count(std::size_t requested) {
+  std::size_t n = requested == 0 ? 8 : requested;
+  n = std::bit_ceil(n);
+  return std::min<std::size_t>(n, 256);
 }
 
-context_workers::~context_workers() { shutdown(/*drain_pending=*/false); }
-
-void context_workers::enqueue(job j) {
-  {
-    util::waitable_lock lock(mu_);
-    while (!stopping_ && queue_.size() >= max_queue_) {
-      lock.wait(cv_space_);
-    }
-    if (stopping_) {
-      throw context_shutdown(
-          "inplace: submit on a transpose_context whose async machinery "
-          "was shut down");
-    }
-    INPLACE_FAILPOINT("ctx.queue.push");
-    queue_.push_back(std::move(j));
+std::vector<std::unique_ptr<cache_shard>> make_shards(std::size_t count) {
+  std::vector<std::unique_ptr<cache_shard>> shards;
+  shards.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    shards.push_back(std::make_unique<cache_shard>());
   }
-  cv_work_.notify_one();
+  return shards;
 }
 
-std::size_t context_workers::cancel_pending() {
-  std::deque<job> doomed;
-  {
-    util::mutex_guard lock(mu_);
-    doomed.swap(queue_);
-  }
-  cv_space_.notify_all();
-  return fail_jobs(std::move(doomed),
-                   "inplace: async transpose cancelled before execution "
-                   "(transpose_context::cancel_pending)");
-}
-
-std::size_t context_workers::shutdown(bool drain_pending) {
-  std::deque<job> doomed;
-  {
-    util::mutex_guard lock(mu_);
-    if (!stopping_) {
-      stopping_ = true;
-      if (!drain_pending) {
-        doomed.swap(queue_);
-      }
-    }
-    // Already stopping: a concurrent shutdown owns the queue decision;
-    // fall through to the join so both calls return with workers dead.
-  }
-  cv_work_.notify_all();
-  cv_space_.notify_all();
-  const std::size_t failed = fail_jobs(
-      std::move(doomed),
-      "inplace: async transpose abandoned by context shutdown before it "
-      "started (transpose_context::shutdown(drain_pending=false))");
-  {
-    util::mutex_guard jlock(join_mu_);
-    for (auto& t : threads_) {
-      if (t.joinable()) {
-        t.join();
-      }
-    }
-  }
-  return failed;
-}
-
-std::size_t context_workers::pending() const {
-  util::mutex_guard lock(mu_);
-  return queue_.size();
-}
-
-std::size_t context_workers::fail_jobs(std::deque<job>&& doomed,
-                                       const char* what) {
-  if (doomed.empty()) {
-    return 0;
-  }
-  const std::exception_ptr reason =
-      std::make_exception_ptr(context_shutdown(what));
-  for (auto& j : doomed) {
-    j(reason);  // settles the job's promise with context_shutdown
-  }
-  const std::size_t n = doomed.size();
-  doomed.clear();
-  return n;
-}
-
-void context_workers::worker_loop() {
-  for (;;) {
-    job fn;
-    {
-      util::waitable_lock lock(mu_);
-      while (!stopping_ && queue_.empty()) {
-        lock.wait(cv_work_);
-      }
-      if (queue_.empty()) {
-        return;  // stop requested and nothing pending
-      }
-      fn = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    cv_space_.notify_one();
-    // "ctx.worker.job" models a worker-side fault before the job body
-    // runs (e.g. a TLS or pool-resource failure): the job still settles
-    // its future — with the injected exception — instead of vanishing.
-    std::exception_ptr poison;
-#if defined(INPLACE_FAILPOINTS)
-    try {
-      INPLACE_FAILPOINT("ctx.worker.job");
-    } catch (...) {
-      poison = std::current_exception();
-    }
-#endif
-    fn(poison);  // the closure captures any exception into its future
-  }
-}
+}  // namespace
 
 }  // namespace detail
 
@@ -179,8 +61,11 @@ transpose_context::transpose_context(const context_options& copts)
     : max_plans_(std::max<std::size_t>(1, copts.max_plans)),
       max_arenas_per_plan_(std::max<std::size_t>(1, copts.max_arenas_per_plan)),
       max_cached_bytes_(copts.max_cached_bytes),
+      shard_count_(detail::resolve_shard_count(copts.cache_shards)),
       worker_count_(copts.workers),
-      max_queue_(std::max<std::size_t>(1, copts.max_queue)) {}
+      max_queue_(std::max<std::size_t>(1, copts.max_queue)),
+      pin_workers_(copts.pin_workers),
+      shards_(detail::make_shards(shard_count_)) {}
 
 transpose_context::~transpose_context() {
   // Deterministic teardown: fail queued jobs, finish in-flight ones, join
@@ -190,28 +75,46 @@ transpose_context::~transpose_context() {
 
 std::shared_ptr<detail::context_entry> transpose_context::acquire_entry(
     const detail::context_key& key, bool& hit) {
-  util::mutex_guard lock(mu_);
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
+  detail::cache_shard& shard =
+      *shards_[detail::context_shard_index(key, shard_count_)];
+  util::mutex_guard lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
     hit = true;
     plan_hits_.fetch_add(1, std::memory_order_relaxed);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->entry;
   }
   hit = false;
   plan_misses_.fetch_add(1, std::memory_order_relaxed);
-  while (map_.size() >= max_plans_ && !lru_.empty()) {
-    evict_locked(std::prev(lru_.end()));
+  // Capacity is global, eviction local: make room from THIS shard's LRU
+  // tail while the whole cache is full.  With one shard this is exactly
+  // the classic global-LRU bound; with N shards a full cache whose
+  // overflow lives elsewhere lets the insert through after draining the
+  // local tail, so total plans stay within max_plans_ + shard_count_ - 1
+  // while a skewed key distribution never shrinks the effective cache
+  // (a hard ceil(max_plans/shards) quota would evict a 4-plan working
+  // set out of a 16-plan cache whenever two keys shared a stripe).
+  while (plan_count_.load(std::memory_order_relaxed) >= max_plans_ &&
+         !shard.lru.empty()) {
+    evict_locked(shard, std::prev(shard.lru.end()));
   }
-  lru_.push_front({key, std::make_shared<detail::context_entry>()});
-  map_.emplace(key, lru_.begin());
-  return lru_.front().entry;
+  shard.lru.push_front({key, std::make_shared<detail::context_entry>()});
+  shard.map.emplace(key, shard.lru.begin());
+  plan_count_.fetch_add(1, std::memory_order_relaxed);
+  return shard.lru.front().entry;
 }
 
-void transpose_context::evict_locked(lru_iter it) {
+void transpose_context::evict_locked(detail::cache_shard& shard,
+                                     detail::context_lru_iter it) {
+  // "ctx.shard.evict" models an eviction-path fault (e.g. a failing
+  // bookkeeping allocation).  Fires before any mutation so a fault
+  // leaves the shard — map, LRU, byte accounting — fully intact.
+  INPLACE_FAILPOINT("ctx.shard.evict");
   const std::shared_ptr<detail::context_entry> entry = it->entry;
-  map_.erase(it->key);
-  lru_.erase(it);
+  shard.map.erase(it->key);
+  shard.lru.erase(it);
+  plan_count_.fetch_sub(1, std::memory_order_relaxed);
   plan_evictions_.fetch_add(1, std::memory_order_relaxed);
 
   // Mark the entry dead and release its stored arenas; executions holding
@@ -234,6 +137,21 @@ void transpose_context::evict_locked(lru_iter it) {
 
 context_stats transpose_context::stats() const {
   context_stats s;
+  // Settle-side counters before enqueue-side ones, for the same
+  // monotonic-snapshot reason as context_workers::qos_stats(): reading
+  // jobs_cancelled (a settled count) before async_jobs can only
+  // undercount settles relative to the enqueues read after it.
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_acquire);
+  detail::context_workers* pool = nullptr;
+  {
+    util::mutex_guard lock(workers_mu_);
+    pool = workers_.get();
+  }
+  if (pool != nullptr) {
+    s.qos = pool->qos_stats();
+    s.pinned_workers = pool->pinned_workers();
+  }
+  s.async_jobs = async_jobs_.load(std::memory_order_relaxed);
   s.executions = executions_.load(std::memory_order_relaxed);
   s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
   s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
@@ -241,15 +159,17 @@ context_stats transpose_context::stats() const {
   s.arenas_created = arenas_created_.load(std::memory_order_relaxed);
   s.arenas_reused = arenas_reused_.load(std::memory_order_relaxed);
   s.arenas_dropped = arenas_dropped_.load(std::memory_order_relaxed);
-  s.async_jobs = async_jobs_.load(std::memory_order_relaxed);
   s.arenas_degraded = arenas_degraded_.load(std::memory_order_relaxed);
-  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
 std::size_t transpose_context::cached_plans() const {
-  util::mutex_guard lock(mu_);
-  return map_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    util::mutex_guard lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
 }
 
 std::size_t transpose_context::cached_bytes() const {
@@ -257,9 +177,11 @@ std::size_t transpose_context::cached_bytes() const {
 }
 
 void transpose_context::clear() {
-  util::mutex_guard lock(mu_);
-  while (!lru_.empty()) {
-    evict_locked(std::prev(lru_.end()));
+  for (const auto& shard : shards_) {
+    util::mutex_guard lock(shard->mu);
+    while (!shard->lru.empty()) {
+      evict_locked(*shard, std::prev(shard->lru.end()));
+    }
   }
 }
 
@@ -274,7 +196,7 @@ void transpose_context::shutdown(bool drain_pending) {
     return;  // never went async; nothing to stop
   }
   const std::size_t failed = pool->shutdown(drain_pending);
-  jobs_cancelled_.fetch_add(failed, std::memory_order_relaxed);
+  jobs_cancelled_.fetch_add(failed, std::memory_order_release);
 }
 
 std::size_t transpose_context::cancel_pending() {
@@ -287,7 +209,7 @@ std::size_t transpose_context::cancel_pending() {
     return 0;
   }
   const std::size_t failed = pool->cancel_pending();
-  jobs_cancelled_.fetch_add(failed, std::memory_order_relaxed);
+  jobs_cancelled_.fetch_add(failed, std::memory_order_release);
   return failed;
 }
 
@@ -298,14 +220,17 @@ detail::context_workers& transpose_context::workers() {
         "inplace: submit on a transpose_context after shutdown()");
   }
   if (!workers_) {
-    std::size_t count = worker_count_;
-    if (count == 0) {
+    detail::context_workers::config cfg;
+    cfg.count = worker_count_;
+    if (cfg.count == 0) {
       // Small default: enough to overlap planning/allocation with engine
       // execution without oversubscribing the OpenMP pool badly.
-      count = std::clamp<std::size_t>(
+      cfg.count = std::clamp<std::size_t>(
           static_cast<std::size_t>(util::hardware_threads()), 2, 4);
     }
-    workers_ = std::make_unique<detail::context_workers>(count, max_queue_);
+    cfg.max_queue = max_queue_;
+    cfg.pin_workers = pin_workers_;
+    workers_ = std::make_unique<detail::context_workers>(cfg);
   }
   return *workers_;
 }

@@ -8,35 +8,41 @@
 // row-permutation cycle discovery.  `transpose_context` amortizes all of
 // it across calls:
 //
-//   * an LRU plan cache keyed by (rows, cols, elem_size, element type,
-//     entry point/order, and every planning-relevant option), bounded by
-//     context_options::max_plans;
+//   * a *sharded* LRU plan cache keyed by (rows, cols, elem_size, element
+//     type, entry point/order, and every planning-relevant option):
+//     context_options::cache_shards lock-striped shards selected by the
+//     high bits of context_key_hash, each with its own mutex and LRU, so
+//     concurrent mixed-shape clients stop serializing on one lock.  The
+//     plan bound (context_options::max_plans) is governed globally by an
+//     atomic plan count with shard-local eviction, and the byte budget
+//     (max_cached_bytes) stays global, settled by atomic reservation
+//     against retained_bytes_;
 //   * per-plan reusable arenas — `transposer<T>` instances holding the
 //     resolved plan, the index math, the workspace pool and the memoized
 //     cycle leaders — checked out exclusively per execution, so the warm
 //     path performs zero allocations and zero cycle re-discovery;
 //   * an async submission API: `submit()` returns a std::future<void>,
-//     `transpose_batch()` runs a span of jobs over one shared worker pool
-//     with per-job error capture.
+//     optionally scheduled with job_options{qos, deadline} (see
+//     core/sched.hpp); `transpose_batch()` runs a span of jobs over one
+//     shared QoS-aware worker pool with per-job error capture.
 //
 // The free functions in core/transpose.hpp route through a process-wide
 // `default_context()`, so plain `transpose(data, m, n)` callers get warm
 // plan reuse without managing a context.  All entry points are
 // thread-safe; concurrent same-shape calls each receive their own arena.
 
+#include <array>
 #include <atomic>
-#include <condition_variable>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -44,6 +50,7 @@
 #include "core/errors.hpp"
 #include "core/executor.hpp"
 #include "core/failpoint.hpp"
+#include "core/sched.hpp"
 #include "util/annotated_mutex.hpp"
 
 namespace inplace {
@@ -51,6 +58,9 @@ namespace inplace {
 /// Sizing knobs for a transpose_context.
 struct context_options {
   /// Distinct cached plans (LRU beyond this).  Clamped to at least 1.
+  /// The bound is global across cache shards (an insert into a full
+  /// cache evicts from its own shard's LRU tail), so total cached plans
+  /// stay within max_plans + cache_shards - 1 under any key skew.
   std::size_t max_plans = 16;
 
   /// Arenas kept per plan.  Concurrent same-shape executions past this
@@ -60,8 +70,13 @@ struct context_options {
   /// Total bytes of scratch the context may pin across all cached arenas
   /// (approximate; Theorem 6 scratch plus memoized cycle leaders).  An
   /// arena whose return would exceed the budget is dropped instead of
-  /// recycled.
+  /// recycled.  Global across shards, settled by atomic reservation.
   std::size_t max_cached_bytes = std::size_t{256} << 20;
+
+  /// Lock stripes for the plan cache.  Rounded up to a power of two and
+  /// clamped to [1, 256]; 0 picks the default (8).  Set 1 to recover the
+  /// single-lock cache with one global LRU order (exact max_plans bound).
+  std::size_t cache_shards = 8;
 
   /// Worker threads for submit()/transpose_batch(); 0 picks a small
   /// default.  Workers start lazily on the first async call — a context
@@ -73,6 +88,12 @@ struct context_options {
   /// 1).  Keeps a producer that outruns the workers from growing the
   /// queue — and the set of outstanding futures — without bound.
   std::size_t max_queue = 1024;
+
+  /// Pin each worker thread to one CPU of the process's allowed set
+  /// (util::pin_current_thread).  Where pinning is unsupported the pool
+  /// falls back loudly (one stderr warning) and runs unpinned;
+  /// context_stats::pinned_workers reports how many pins stuck.
+  bool pin_workers = false;
 };
 
 /// Monotonic counters describing a context's cache behavior.
@@ -91,6 +112,16 @@ struct context_stats {
   /// Async jobs failed with context_shutdown before they ran (shutdown
   /// with drain_pending=false, or cancel_pending()).
   std::uint64_t jobs_cancelled = 0;
+
+  /// Per-QoS-class scheduling counters, indexed by qos_index().  The
+  /// snapshot is coherent for the monotonic invariant: for every class,
+  /// qos[k].settled() <= qos[k].enqueued at the moment of the read (see
+  /// detail::context_workers::qos_stats for the memory-order proof).
+  std::array<qos_counters, qos_class_count> qos{};
+
+  /// Workers that successfully pinned to a CPU (0 unless
+  /// context_options::pin_workers was set and the platform honored it).
+  std::uint64_t pinned_workers = 0;
 };
 
 /// One matrix in a transpose_batch() call.
@@ -101,6 +132,7 @@ struct transpose_job {
   std::size_t cols = 0;
   storage_order order = storage_order::row_major;
   options opts{};
+  job_options sched{};  ///< QoS class + optional deadline for this job
 };
 
 /// Per-job outcome of transpose_batch(): errors[k] is the exception (if
@@ -148,6 +180,23 @@ struct context_key_hash {
   std::size_t operator()(const context_key& k) const noexcept;
 };
 
+/// The cache shard `key` lands in, out of `shard_count` (a power of
+/// two): the *high* bits of context_key_hash.  unordered_map buckets
+/// consume the hash modulo a bucket count — effectively the low bits —
+/// so striping on the opposite end keeps shard choice and in-shard
+/// bucketing independent.  Exposed for the dispersion test in
+/// tests/test_context.cpp.
+[[nodiscard]] inline std::size_t context_shard_index(
+    const context_key& key, std::size_t shard_count) noexcept {
+  if (shard_count <= 1) {
+    return 0;
+  }
+  const std::size_t h = context_key_hash{}(key);
+  const int width = std::numeric_limits<std::size_t>::digits;
+  const int bits = std::countr_zero(shard_count);  // log2 of a power of two
+  return h >> (width - bits);
+}
+
 /// One inline variable per element type: its address is the program-wide
 /// unique type tag for context keys (elem_size alone cannot distinguish
 /// float from int32_t, whose workspaces are distinct template types).
@@ -165,70 +214,21 @@ struct context_entry {
       INPLACE_GUARDED_BY(mu);
 };
 
-/// FIFO worker pool backing submit()/transpose_batch(), with bounded
-/// backpressure and deterministic shutdown.
-///
-/// Lifecycle contract: every job that enters the queue is *settled*
-/// exactly once — run by a worker, or failed (invoked with a non-null
-/// exception_ptr) by shutdown(drain=false)/cancel_pending().  Jobs are
-/// closures over a promise, so "settled" means the caller's future never
-/// dangles unsatisfied, however the pool goes down.
-class context_workers {
- public:
-  /// One queued job.  Invoked with a null exception_ptr to run normally,
-  /// or with the failure reason to satisfy its promise with — either
-  /// way, the job must settle its future and must not throw.
-  using job = std::function<void(std::exception_ptr)>;
+/// One node of a shard's LRU list.
+struct context_lru_node {
+  context_key key;
+  std::shared_ptr<context_entry> entry;
+};
+using context_lru_iter = std::list<context_lru_node>::iterator;
 
-  /// Spawns `count` workers (at least 1).  If a thread fails to start,
-  /// the already-started workers are stopped and joined before the
-  /// exception propagates — no half-alive pool escapes.
-  context_workers(std::size_t count, std::size_t max_queue);
-
-  /// Equivalent to shutdown(/*drain_pending=*/false): queued-but-
-  /// unstarted jobs fail with context_shutdown, in-flight jobs finish,
-  /// workers join.
-  ~context_workers();
-  context_workers(const context_workers&) = delete;
-  context_workers& operator=(const context_workers&) = delete;
-
-  /// Enqueues a job, blocking while the queue is at max_queue
-  /// (backpressure).  Throws context_shutdown once shutdown began; the
-  /// job is then untouched (the caller still holds it and must settle
-  /// its own promise — transpose_context::submit simply propagates).
-  void enqueue(job j) INPLACE_EXCLUDES(mu_);
-
-  /// Fails every queued-but-unstarted job with context_shutdown
-  /// ("cancelled") without stopping the pool.  Returns how many.
-  std::size_t cancel_pending() INPLACE_EXCLUDES(mu_);
-
-  /// Stops the pool: no further enqueues succeed.  drain_pending=true
-  /// runs the queued jobs first; false fails them with context_shutdown.
-  /// In-flight jobs always finish.  Joins the workers; idempotent and
-  /// safe to call concurrently.  Returns how many jobs were failed.
-  std::size_t shutdown(bool drain_pending)
-      INPLACE_EXCLUDES(mu_, join_mu_);
-
-  /// Jobs queued but not yet picked up by a worker.
-  [[nodiscard]] std::size_t pending() const INPLACE_EXCLUDES(mu_);
-
- private:
-  void worker_loop() INPLACE_EXCLUDES(mu_);
-
-  /// Settles `doomed` with a context_shutdown carrying `what`.
-  static std::size_t fail_jobs(std::deque<job>&& doomed, const char* what);
-
-  mutable util::annotated_mutex mu_;
-  std::condition_variable cv_work_;   ///< workers: work available / stopping
-  std::condition_variable cv_space_;  ///< producers: queue below the bound
-  std::deque<job> queue_ INPLACE_GUARDED_BY(mu_);
-  bool stopping_ INPLACE_GUARDED_BY(mu_) = false;
-  const std::size_t max_queue_;  ///< immutable after construction
-  /// Serializes the join in concurrent shutdowns; ordered after mu_
-  /// (shutdown takes mu_ first, releases it, then joins under join_mu_ —
-  /// the two are never held together).
-  util::annotated_mutex join_mu_;
-  std::vector<std::thread> threads_ INPLACE_GUARDED_BY(join_mu_);
+/// One lock stripe of the plan cache: its own mutex, recency list and
+/// key index.  Shards never take each other's locks; the only cross-
+/// shard state is the global atomic byte budget.
+struct cache_shard {
+  mutable util::annotated_mutex mu;
+  std::list<context_lru_node> lru INPLACE_GUARDED_BY(mu);
+  std::unordered_map<context_key, context_lru_iter, context_key_hash> map
+      INPLACE_GUARDED_BY(mu);
 };
 
 }  // namespace detail
@@ -271,14 +271,30 @@ class transpose_context {
   /// Lifecycle guarantees: blocks while context_options::max_queue jobs
   /// are already pending (backpressure); throws context_shutdown — with
   /// the job never queued and the buffer untouched — once shutdown()
-  /// ran or the context is being destroyed.  Every future this returns
-  /// is eventually satisfied: with a value, the job's own exception, or
+  /// ran or the context is being destroyed, and queue_overflow for a
+  /// worker-thread re-entrant submit against a full queue (which would
+  /// otherwise deadlock).  Every future this returns is eventually
+  /// satisfied: with a value, the job's own exception, deadline_exceeded
+  /// if its job_options deadline lapsed before pickup, or
   /// context_shutdown if the context went down before the job started.
   template <typename T>
   [[nodiscard]] std::future<void> submit(
       T* data, std::size_t rows, std::size_t cols,
       storage_order order = storage_order::row_major,
       const options& opts = {}) {
+    return submit(data, rows, cols, order, opts, job_options{});
+  }
+
+  /// submit() with explicit scheduling: a QoS class (interactive jobs
+  /// overtake queued standard/batch work) and an optional absolute
+  /// deadline.  A job whose deadline passes before a worker picks it up
+  /// settles its future with deadline_exceeded without running.
+  template <typename T>
+  [[nodiscard]] std::future<void> submit(T* data, std::size_t rows,
+                                         std::size_t cols,
+                                         storage_order order,
+                                         const options& opts,
+                                         const job_options& sched) {
     auto done = std::make_shared<std::promise<void>>();
     std::future<void> fut = done->get_future();
     detail::context_workers::job body =
@@ -295,17 +311,26 @@ class transpose_context {
             done->set_exception(std::current_exception());
           }
         };
-    // May block (backpressure) or throw context_shutdown; on throw the
-    // closure — and with it the promise — is discarded along with `fut`,
-    // which submit's caller never receives.
-    workers().enqueue(std::move(body));
+    // Counted before the enqueue and rolled back if it throws: with the
+    // old count-after-enqueue ordering a fast worker could settle the
+    // job before it was counted, so a concurrent stats() snapshot saw
+    // settled counters ahead of async_jobs (torn read).  On throw the
+    // closure — and with it the promise — is discarded along with
+    // `fut`, which submit's caller never receives.
     async_jobs_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      workers().enqueue(std::move(body), sched);
+    } catch (...) {
+      async_jobs_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
     return fut;
   }
 
   /// Runs every job over the shared worker pool, blocking until all
   /// complete.  Failures are captured per job (never thrown): jobs after
-  /// a failing one still run.
+  /// a failing one still run.  Each job's `sched` options apply — the
+  /// pool runs higher-QoS jobs first regardless of span order.
   template <typename T>
   batch_result transpose_batch(std::span<const transpose_job<T>> jobs) {
     batch_result res;
@@ -314,7 +339,7 @@ class transpose_context {
     futs.reserve(jobs.size());
     for (const auto& job : jobs) {
       futs.push_back(submit(job.data, job.rows, job.cols, job.order,
-                            job.opts));
+                            job.opts, job.sched));
     }
     for (std::size_t k = 0; k < futs.size(); ++k) {
       try {
@@ -327,12 +352,17 @@ class transpose_context {
     return res;
   }
 
-  /// Snapshot of the cache counters.
+  /// Snapshot of the cache and scheduling counters.  Coherent for the
+  /// monotonic per-class invariant settled() <= enqueued (the settle
+  /// side is read before the enqueue side, against release stores).
   [[nodiscard]] context_stats stats() const;
 
   /// Currently cached plan count / approximate pinned arena bytes.
   [[nodiscard]] std::size_t cached_plans() const;
   [[nodiscard]] std::size_t cached_bytes() const;
+
+  /// The resolved shard count (power of two).
+  [[nodiscard]] std::size_t cache_shards() const { return shard_count_; }
 
   /// Drops every cached plan and arena (in-flight executions finish on
   /// the arenas they hold).  Counters are not reset.
@@ -357,19 +387,15 @@ class transpose_context {
   static constexpr std::uint8_t mode_c2r = 1;
   static constexpr std::uint8_t mode_r2c = 2;
 
-  struct lru_node {
-    detail::context_key key;
-    std::shared_ptr<detail::context_entry> entry;
-  };
-  using lru_iter = std::list<lru_node>::iterator;
-
-  /// Finds (LRU-touching) or inserts the entry for `key`, evicting past
-  /// max_plans.  Sets `hit` iff the key was already cached.
+  /// Finds (LRU-touching) or inserts the entry for `key` in its shard,
+  /// evicting past the per-shard plan bound.  Sets `hit` iff the key
+  /// was already cached.
   std::shared_ptr<detail::context_entry> acquire_entry(
-      const detail::context_key& key, bool& hit) INPLACE_EXCLUDES(mu_);
+      const detail::context_key& key, bool& hit);
 
-  /// Drops one LRU node and its stored arenas.
-  void evict_locked(lru_iter it) INPLACE_REQUIRES(mu_);
+  /// Drops one LRU node of `shard` and its stored arenas.
+  void evict_locked(detail::cache_shard& shard, detail::context_lru_iter it)
+      INPLACE_REQUIRES(shard.mu);
 
   /// Lazily started worker pool for the async entry points.
   detail::context_workers& workers() INPLACE_EXCLUDES(workers_mu_);
@@ -445,23 +471,30 @@ class transpose_context {
       throw;
     }
 
-    // Recycle within the per-plan and total-bytes budgets.
+    // Recycle within the per-plan and total-bytes budgets.  The byte
+    // budget is settled by *reservation*: fetch_add first, check the
+    // bound on the pre-reservation value, and roll the reservation back
+    // if the arena is not recycled after all.  With the old
+    // load-compare-add sequence two racing recycles on different
+    // entries could both pass the check and overshoot the budget; a
+    // reservation loses at most transiently (a doomed reservation can
+    // make a neighbor drop, never overshoot).  The reservation also
+    // happens before the arena becomes visible to eviction, preserving
+    // the PR-5 underflow fix: evict_locked only ever subtracts bytes
+    // that were added first.
     const std::size_t bytes = tr->cached_bytes();
     bool recycled = false;
     {
       util::mutex_guard lock(entry->mu);
-      if (!entry->evicted && entry->arenas.size() < max_arenas_per_plan_ &&
-          retained_bytes_.load(std::memory_order_relaxed) + bytes <=
-              max_cached_bytes_) {
-        entry->arenas.emplace_back(std::move(arena), bytes);
-        // The byte accounting must happen under entry->mu, before the
-        // arena is visible to eviction: with the old add-after-unlock
-        // ordering, a concurrent evict_locked could fetch_sub this
-        // arena's bytes *between* the push and the fetch_add, and
-        // retained_bytes_ underflowed (wrapping to ~SIZE_MAX, which then
-        // blocked all future recycling against max_cached_bytes_).
-        retained_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-        recycled = true;
+      if (!entry->evicted && entry->arenas.size() < max_arenas_per_plan_) {
+        const std::size_t prior =
+            retained_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        if (prior + bytes <= max_cached_bytes_) {
+          entry->arenas.emplace_back(std::move(arena), bytes);
+          recycled = true;
+        } else {
+          retained_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        }
       }
     }
     if (!recycled) {
@@ -475,14 +508,21 @@ class transpose_context {
   const std::size_t max_plans_;
   const std::size_t max_arenas_per_plan_;
   const std::size_t max_cached_bytes_;
+  const std::size_t shard_count_;      ///< power of two in [1, 256]
   const std::size_t worker_count_;
   const std::size_t max_queue_;
+  const bool pin_workers_;
 
-  mutable util::annotated_mutex mu_;  ///< guards lru_/map_
-  std::list<lru_node> lru_ INPLACE_GUARDED_BY(mu_);
-  std::unordered_map<detail::context_key, lru_iter, detail::context_key_hash>
-      map_ INPLACE_GUARDED_BY(mu_);
+  /// The lock stripes.  The vector itself is immutable after
+  /// construction (const, sized shard_count_); all mutation happens
+  /// inside a shard under its own mu.
+  const std::vector<std::unique_ptr<detail::cache_shard>> shards_;
 
+  /// Plans cached across all shards.  Capacity is governed globally
+  /// (insert evicts from its own shard while this is at max_plans_), so
+  /// a skewed key distribution cannot shrink the effective cache the
+  /// way a hard per-shard quota would.
+  std::atomic<std::size_t> plan_count_{0};
   std::atomic<std::size_t> retained_bytes_{0};
   std::atomic<std::uint64_t> executions_{0};
   std::atomic<std::uint64_t> plan_hits_{0};
@@ -500,7 +540,7 @@ class transpose_context {
   /// submit() is still creating).  The pool pointer is guarded; the pool
   /// *object* is internally synchronized, so shutdown()/cancel_pending()
   /// legitimately copy the raw pointer out and call it unlocked.
-  util::annotated_mutex workers_mu_;
+  mutable util::annotated_mutex workers_mu_;
   bool shutdown_ INPLACE_GUARDED_BY(workers_mu_) = false;
   std::unique_ptr<detail::context_workers> workers_
       INPLACE_GUARDED_BY(workers_mu_);

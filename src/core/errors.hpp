@@ -24,6 +24,26 @@ class context_shutdown : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown into a job's future when its job_options deadline passed before
+/// a worker picked the job up: the transpose never ran and the buffer is
+/// untouched.  Not an inplace::error — the arguments were fine; the
+/// scheduler declined the work because its deadline already lapsed.
+class deadline_exceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by submit() for a *worker-thread re-entrant* submission while
+/// the queue is at context_options::max_queue.  A worker blocking in the
+/// backpressure wait can never be woken (the queue drains only through
+/// that same worker pool), so re-entrant submits fail fast instead of
+/// deadlocking; the job is never queued and the buffer is untouched.
+/// Ordinary producers are unaffected — they block as before.
+class queue_overflow : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 /// Validates an (rows, cols) extent pair against a data pointer and returns

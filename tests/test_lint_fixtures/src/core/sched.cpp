@@ -1,0 +1,23 @@
+// Seeded violation: this stand-in for the scheduler translation unit carries every required failpoint EXCEPT "ctx.sched.pop".  EXPECT-LINT: failpoint-coverage
+//
+// The fault-injection suites and the soak driver's --expect-failpoints
+// pass arm these by name; dropping one must be a lint finding, not a
+// silent weakening of those gates.
+
+#define INPLACE_FAILPOINT(name) fixture_failpoint(name)
+
+namespace fixture {
+
+void fixture_failpoint(const char*);
+
+void spawn_workers() { INPLACE_FAILPOINT("ctx.spawn"); }
+
+void enqueue_job() { INPLACE_FAILPOINT("ctx.queue.push"); }
+
+void run_job() {
+  // The pickup-side failpoint ("ctx.sched.pop") that should guard the
+  // pop is gone — the seeded violation this fixture exists for.
+  INPLACE_FAILPOINT("ctx.worker.job");
+}
+
+}  // namespace fixture
