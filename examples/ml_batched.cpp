@@ -3,7 +3,10 @@
 // [tokens x heads*dim] and [heads*dim x tokens] layouts per layer; with a
 // planned executor (core/executor.hpp) the plan, reciprocals and scratch
 // are computed once per shape and reused across the whole batch and all
-// layers — in place, so no second activation buffer is needed.
+// layers — in place, so no second activation buffer is needed.  The
+// closing section converts a convolution activation tensor between
+// NCHW and NHWC with permute_nd through the shared context, the way a
+// framework would flip layouts at a backend boundary.
 //
 //   $ ./examples/ml_batched [batch] [tokens] [features]
 
@@ -11,7 +14,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/executor.hpp"
+#include "core/tensor.hpp"
 #include "core/transpose.hpp"
 #include "util/matrix.hpp"
 #include "util/parse.hpp"
@@ -78,5 +83,36 @@ int main(int argc, char** argv) {
               ok3 ? "OK" : "MISMATCH");
   std::printf("plan-reuse saving vs one-shot: %.1f%%\n",
               100.0 * (t_oneshot - t_planned) / t_oneshot);
-  return (ok1 && ok2 && ok3) ? 0 : 1;
+
+  // NCHW <-> NHWC: the rank-4 layout flip convolution backends trade in.
+  // permute_nd searches for a pass decomposition at first sight of the
+  // (shape, perm) pair and replays the cached plan on every later call —
+  // including the inverse direction, which is its own cache entry.
+  const std::size_t n = batch;
+  const std::size_t c = 64;
+  const std::size_t h = 28;
+  const std::size_t w = 28;
+  std::vector<float> img(n * c * h * w);
+  for (std::size_t l = 0; l < img.size(); ++l) {
+    img[l] = static_cast<float>(l % 509);
+  }
+  const auto img_src = img;
+  const std::size_t nchw[] = {n, c, h, w};
+  const std::size_t nhwc[] = {n, h, w, c};
+  const int to_nhwc[] = {0, 2, 3, 1};
+  const int to_nchw[] = {0, 3, 1, 2};
+  auto& ctx = default_context();
+  ctx.permute_nd<float>(img.data(), nchw, to_nhwc);  // cold: plans
+  ctx.permute_nd<float>(img.data(), nhwc, to_nchw);
+  clk.reset();
+  ctx.permute_nd<float>(img.data(), nchw, to_nhwc);  // warm: replays
+  ctx.permute_nd<float>(img.data(), nhwc, to_nchw);
+  const double t_nd = clk.seconds();
+  const bool ok4 = img == img_src;
+  const double nd_bytes = 4.0 * double(img.size()) * sizeof(float);
+  std::printf("NCHW<->NHWC permute_nd  : %7.1f ms (%.2f GB/s) %s "
+              "[%zux%zux%zux%zu, warm round trip]\n",
+              t_nd * 1e3, nd_bytes / t_nd * 1e-9, ok4 ? "OK" : "MISMATCH",
+              n, c, h, w);
+  return (ok1 && ok2 && ok3 && ok4) ? 0 : 1;
 }

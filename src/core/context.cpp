@@ -31,6 +31,13 @@ std::size_t context_key_hash::operator()(
   mix(static_cast<std::uint64_t>(k.strength_reduction));
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.threads)));
   mix(k.block_bytes);
+  // permute_nd identity: the normalized extents and the packed perm.
+  // nd_rank bounds the loop so the 2-D modes (rank 0) pay nothing extra
+  // beyond one mix of the packed word.
+  for (std::size_t a = 0; a < k.nd_rank; ++a) {
+    mix(k.nd_dims[a]);
+  }
+  mix((std::uint64_t{k.nd_rank} << 32) | std::uint64_t{k.nd_perm});
   return static_cast<std::size_t>(h);
 }
 

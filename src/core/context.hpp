@@ -51,6 +51,7 @@
 #include "core/executor.hpp"
 #include "core/failpoint.hpp"
 #include "core/sched.hpp"
+#include "core/tensor_nd.hpp"
 #include "util/annotated_mutex.hpp"
 
 namespace inplace {
@@ -164,7 +165,7 @@ struct context_key {
   std::uint64_t cols = 0;
   std::size_t elem_size = 0;
   const void* type_tag = nullptr;  ///< &context_type_tag<T>
-  std::uint8_t mode = 0;           ///< 0 transpose, 1 c2r, 2 r2c
+  std::uint8_t mode = 0;           ///< 0 transpose, 1 c2r, 2 r2c, 3 permute_nd
   std::uint8_t order = 0;          ///< storage_order (transpose mode only)
   std::uint8_t alg = 0;            ///< options::algorithm
   std::uint8_t engine = 0;         ///< engine_kind
@@ -172,6 +173,14 @@ struct context_key {
   bool strength_reduction = true;
   int threads = 0;
   std::size_t block_bytes = 0;
+
+  /// permute_nd identity (zero elsewhere): the *normalized* extents and
+  /// permutation (unit axes dropped, contiguous groups fused), so every
+  /// raw shape that reduces to the same residual problem shares one plan.
+  /// rank <= tensor_max_rank packs the perm inline as 4-bit nibbles.
+  std::array<std::uint64_t, tensor_max_rank> nd_dims{};
+  std::uint32_t nd_perm = 0;
+  std::uint8_t nd_rank = 0;
 
   friend bool operator==(const context_key&, const context_key&) = default;
 };
@@ -261,6 +270,61 @@ class transpose_context {
   template <typename T>
   void r2c(T* data, std::size_t m, std::size_t n, const options& opts = {}) {
     run(data, m, n, /*order_tag=*/0, opts, mode_r2c);
+  }
+
+  /// In-place axis permutation of a rank-N row-major tensor: output axis
+  /// k takes input axis perm[k] (the permute3 convention, any rank up to
+  /// tensor_max_rank).  The permutation is normalized (unit extents
+  /// dropped, contiguous axis groups fused), decomposed into
+  /// batched/flat 2-D transpositions and chunk-grid passes by a
+  /// cost-model search (core/tensor_plan.hpp), and the resolved
+  /// nd_transposer arena is cached under the normalized key — repeated
+  /// permutations of the same residual problem run the warm path with
+  /// zero planning and zero allocation.  Every path records telemetry,
+  /// including the empty and identity early returns.
+  template <typename T>
+  void permute_nd(T* data, std::span<const std::size_t> dims,
+                  std::span<const int> perm, const options& opts = {}) {
+    detail::validate_nd_perm(dims, perm);
+    const std::size_t total =
+        detail::checked_extent_nd(data, dims.data(), dims.size(), sizeof(T));
+    if (total == 0) {
+      detail::note_tensor_record<T>(0, dims.size(), 0, false,
+                                    scratch_rung::full, "empty");
+      INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total, 0, 0);
+      return;
+    }
+    const detail::nd_normalized norm = detail::normalize_nd(dims, perm);
+    if (norm.rank <= 1) {
+      // Identity on memory: nothing moves, but the call still records —
+      // the degenerate-shape telemetry contract the 2-D executor keeps.
+      detail::note_tensor_record<T>(norm.total, dims.size(), 0, false,
+                                    scratch_rung::full, "identity");
+      INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                             2 * norm.total * sizeof(T), 0);
+      return;
+    }
+
+    detail::context_key key;
+    key.elem_size = sizeof(T);
+    key.type_tag = &detail::context_type_tag<T>;
+    key.mode = mode_permute_nd;
+    key.alg = static_cast<std::uint8_t>(opts.alg);
+    key.engine = static_cast<std::uint8_t>(opts.engine);
+    key.kernel = static_cast<std::uint8_t>(opts.kernel);
+    key.strength_reduction = opts.strength_reduction;
+    key.threads = opts.threads;
+    key.block_bytes = opts.block_bytes;
+    key.nd_rank = static_cast<std::uint8_t>(norm.rank);
+    for (std::size_t k = 0; k < norm.rank; ++k) {
+      key.nd_dims[k] = norm.dims[k];
+    }
+    key.nd_perm = detail::pack_nd_perm(norm);
+
+    run_cached<nd_transposer<T>>(data, key, [&] {
+      return new nd_transposer<T>(detail::make_tensor_plan(norm, sizeof(T)),
+                                  opts);
+    });
   }
 
   /// Asynchronous transpose: enqueues the job on the context's worker
@@ -386,6 +450,7 @@ class transpose_context {
   static constexpr std::uint8_t mode_transpose = 0;
   static constexpr std::uint8_t mode_c2r = 1;
   static constexpr std::uint8_t mode_r2c = 2;
+  static constexpr std::uint8_t mode_permute_nd = 3;
 
   /// Finds (LRU-touching) or inserts the entry for `key` in its shard,
   /// evicting past the per-shard plan bound.  Sets `hit` iff the key
@@ -400,25 +465,15 @@ class transpose_context {
   /// Lazily started worker pool for the async entry points.
   detail::context_workers& workers() INPLACE_EXCLUDES(workers_mu_);
 
-  template <typename T>
-  void run(T* data, std::size_t rows, std::size_t cols,
-           std::uint8_t order_tag, const options& opts, std::uint8_t mode) {
-    detail::checked_extent(data, rows, cols);
-
-    detail::context_key key;
-    key.rows = rows;
-    key.cols = cols;
-    key.elem_size = sizeof(T);
-    key.type_tag = &detail::context_type_tag<T>;
-    key.mode = mode;
-    key.order = order_tag;
-    key.alg = static_cast<std::uint8_t>(opts.alg);
-    key.engine = static_cast<std::uint8_t>(opts.engine);
-    key.kernel = static_cast<std::uint8_t>(opts.kernel);
-    key.strength_reduction = opts.strength_reduction;
-    key.threads = opts.threads;
-    key.block_bytes = opts.block_bytes;
-
+  /// The single audited checkout/execute/recycle path every cached entry
+  /// point shares.  `Arena` is the per-plan executor type (transposer<T>
+  /// for the 2-D modes, nd_transposer<T> for permute_nd) and must provide
+  /// execute(T*, bool from_cache), cached_bytes() and degraded(); `make`
+  /// builds a fresh heap-allocated arena on a cache miss.  All counter
+  /// and byte-budget semantics (reservation-settled recycling, the
+  /// drop-on-exception rule, degradation accounting) live here once.
+  template <typename Arena, typename T, typename Make>
+  void run_cached(T* data, const detail::context_key& key, Make&& make) {
     bool hit = false;
     std::shared_ptr<detail::context_entry> entry = acquire_entry(key, hit);
 
@@ -439,27 +494,17 @@ class transpose_context {
       retained_bytes_.fetch_sub(arena_bytes, std::memory_order_relaxed);
       arenas_reused_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      const transpose_plan plan =
-          mode == mode_transpose
-              ? make_plan(data, rows, cols,
-                          static_cast<storage_order>(order_tag), opts,
-                          sizeof(T))
-              : make_directed_plan(
-                    data, rows, cols,
-                    mode == mode_c2r ? direction::c2r : direction::r2c, opts,
-                    sizeof(T));
-      arena = std::shared_ptr<void>(new transposer<T>(plan), [](void* p) {
-        delete static_cast<transposer<T>*>(p);
+      arena = std::shared_ptr<void>(static_cast<void*>(make()), [](void* p) {
+        delete static_cast<Arena*>(p);
       });
       arenas_created_.fetch_add(1, std::memory_order_relaxed);
-      if (static_cast<transposer<T>*>(arena.get())->plan().rung !=
-          scratch_rung::full) {
+      if (static_cast<Arena*>(arena.get())->degraded()) {
         // Scratch acquisition walked the OOM ladder while building this
         // arena — surface the pressure episode in the stats.
         arenas_degraded_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    auto* tr = static_cast<transposer<T>*>(arena.get());
+    auto* tr = static_cast<Arena*>(arena.get());
 
     executions_.fetch_add(1, std::memory_order_relaxed);
     try {
@@ -500,6 +545,39 @@ class transpose_context {
     if (!recycled) {
       arenas_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+
+  template <typename T>
+  void run(T* data, std::size_t rows, std::size_t cols,
+           std::uint8_t order_tag, const options& opts, std::uint8_t mode) {
+    detail::checked_extent(data, rows, cols);
+
+    detail::context_key key;
+    key.rows = rows;
+    key.cols = cols;
+    key.elem_size = sizeof(T);
+    key.type_tag = &detail::context_type_tag<T>;
+    key.mode = mode;
+    key.order = order_tag;
+    key.alg = static_cast<std::uint8_t>(opts.alg);
+    key.engine = static_cast<std::uint8_t>(opts.engine);
+    key.kernel = static_cast<std::uint8_t>(opts.kernel);
+    key.strength_reduction = opts.strength_reduction;
+    key.threads = opts.threads;
+    key.block_bytes = opts.block_bytes;
+
+    run_cached<transposer<T>>(data, key, [&] {
+      const transpose_plan plan =
+          mode == mode_transpose
+              ? make_plan(data, rows, cols,
+                          static_cast<storage_order>(order_tag), opts,
+                          sizeof(T))
+              : make_directed_plan(
+                    data, rows, cols,
+                    mode == mode_c2r ? direction::c2r : direction::r2c, opts,
+                    sizeof(T));
+      return new transposer<T>(plan);
+    });
   }
 
   // Sizing knobs resolved at construction; const so no lock discipline

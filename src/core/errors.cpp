@@ -43,4 +43,32 @@ std::size_t checked_extent(const void* data, std::size_t rows,
   return total;
 }
 
+std::size_t checked_extent_nd(const void* data, const std::size_t* dims,
+                              std::size_t rank, std::size_t elem_size) {
+  constexpr std::size_t size_max = std::numeric_limits<std::size_t>::max();
+  for (std::size_t k = 0; k < rank; ++k) {
+    if (dims[k] == 0) {
+      return 0;  // empty tensor: no element is ever addressed
+    }
+  }
+  std::size_t total = 1;
+  for (std::size_t k = 0; k < rank; ++k) {
+    if (total > size_max / dims[k]) {
+      throw error("inplace: extent product overflows size_t at axis " +
+                  std::to_string(k) + " (extent " + std::to_string(dims[k]) +
+                  ", partial product " + std::to_string(total) + ")");
+    }
+    total *= dims[k];
+  }
+  if (elem_size != 0 && total > size_max / elem_size) {
+    throw error("inplace: tensor byte extent overflows size_t (" +
+                std::to_string(total) + " elements of " +
+                std::to_string(elem_size) + " bytes)");
+  }
+  if (data == nullptr) {
+    throw error("inplace: null data with nonzero extent");
+  }
+  return total;
+}
+
 }  // namespace inplace::detail

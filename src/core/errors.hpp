@@ -51,5 +51,16 @@ namespace detail {
 std::size_t checked_extent(const void* data, std::size_t rows,
                            std::size_t cols);
 
+/// Rank-N generalization of checked_extent: validates an extent list
+/// against a data pointer and returns the element count.  The product
+/// accumulates with a per-step overflow check — the transpose_batched
+/// funnel generalized — so crafted extents can never wrap size_t before
+/// anyone looks (the pre-PR-8 tensor paths computed d0*d1*d2 first and
+/// validated the wrapped value).  The byte extent (count * elem_size) is
+/// checked too.  A zero extent makes the tensor empty (returns 0): no
+/// memory is addressed, matching the 2-D funnel's zero-extent semantics.
+std::size_t checked_extent_nd(const void* data, const std::size_t* dims,
+                              std::size_t rank, std::size_t elem_size);
+
 }  // namespace detail
 }  // namespace inplace

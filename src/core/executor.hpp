@@ -52,6 +52,13 @@ class transposer {
 
   [[nodiscard]] const transpose_plan& plan() const { return plan_; }
 
+  /// True when scratch acquisition landed below scratch_rung::full (the
+  /// OOM degradation ladder engaged while building this arena).  Part of
+  /// the arena interface transpose_context::run_cached consumes.
+  [[nodiscard]] bool degraded() const {
+    return plan_.rung != scratch_rung::full;
+  }
+
   /// Transposes one matrix in place.  `data` must have the planned shape.
   void operator()(T* data) { execute(data, /*from_cache=*/false); }
 

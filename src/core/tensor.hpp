@@ -1,27 +1,30 @@
 #pragma once
-// In-place 3-D tensor axis permutation, composed from the paper's 2-D
+// In-place tensor axis permutation, composed from the paper's 2-D
 // machinery (an extension in the spirit of Section 6.1's layout
-// conversions).  A row-major tensor [d0][d1][d2] supports all six axis
-// orders:
+// conversions).  `permute_nd` handles any rank up to tensor_max_rank by
+// normalizing the permutation and decomposing the residual into
+// batched/flat 2-D transpositions and chunk-grid passes (see
+// core/tensor_plan.hpp for the planner, core/tensor_nd.hpp for the
+// executor); `permute3` is the historical rank-3 entry point, now a thin
+// wrapper over the same engine.  Both route through default_context(),
+// so repeated permutations of the same shape reuse the cached plan and
+// arenas.
 //
-//   (0,1,2)  identity
+// For rank 3 the decompositions the planner finds coincide with the
+// hand-written table this header used to carry:
+//
+//   (0,1,2)  identity (normalizes to rank <= 1; nothing runs)
 //   (0,2,1)  batched transposition of d0 independent d1 x d2 slabs
 //   (1,2,0)  one 2-D transposition of the d0 x (d1*d2) view
 //   (2,0,1)  one 2-D transposition of the (d0*d1) x d2 view
-//   (1,0,2)  chunk-granular transposition of the d0 x d1 grid of
-//            d2-element rows (cycle following over fixed chunk slots)
+//   (1,0,2)  chunk-grid pass: the d0 x d1 grid of d2-element rows
 //   (2,1,0)  (0,2,1) followed by (1,2,0)
-//
-// Everything runs in place; the chunk-grid case uses one visited bit per
-// chunk (d0*d1 bits), all other cases inherit the O(max) scratch bound.
 
 #include <array>
 #include <cstddef>
-#include <vector>
+#include <span>
 
-#include "baselines/tiled_core.hpp"
 #include "core/contracts.hpp"
-#include "core/executor.hpp"
 #include "core/transpose.hpp"
 
 namespace inplace {
@@ -46,33 +49,21 @@ inline void validate_axis_perm(const axis_perm& p) {
   }
 }
 
-/// In-place transpose of a d0 x d1 grid of contiguous `chunk`-element
-/// blocks: block (i, j) moves to slot j*d0 + i.
-template <typename T>
-void transpose_chunk_matrix(T* data, std::size_t d0, std::size_t d1,
-                            std::size_t chunk) {
-  if (d0 <= 1 || d1 <= 1 || chunk == 0) {
-    return;
-  }
-  std::vector<std::uint8_t> bits(d0 * d1);
-  std::vector<T> tmp(chunk);
-  baselines::detail::transpose_chunk_grid(data, d0, d1, chunk, bits, tmp);
-}
-
 }  // namespace detail
 
 /// Non-owning view of a row-major [d0][d1][d2] tensor with contract-checked
 /// element access.  `at(i0, i1, i2)` verifies every index against its
 /// extent in Checked builds and compiles down to the plain linearized load
 /// in Release; `operator()` is the always-unchecked form for hot loops.
+/// Extents validate through the overflow-checked N-D funnel — a crafted
+/// d0*d1*d2 can no longer wrap size_t before the check sees it.
 template <typename T>
 class tensor_view {
  public:
   tensor_view(T* data, std::size_t d0, std::size_t d1, std::size_t d2)
       : data_(data), d0_(d0), d1_(d1), d2_(d2) {
-    if (d0 != 0 && d1 != 0 && d2 != 0) {
-      detail::checked_extent(data, d0 * d1, d2);
-    }
+    const std::array<std::size_t, 3> dims{d0, d1, d2};
+    detail::checked_extent_nd(data, dims.data(), dims.size(), sizeof(T));
   }
 
   [[nodiscard]] std::size_t extent(int axis) const {
@@ -101,47 +92,30 @@ class tensor_view {
   std::size_t d0_, d1_, d2_;
 };
 
+/// Permutes the axes of a row-major rank-N tensor in place: output axis k
+/// takes input axis perm[k], so afterwards the buffer is row-major with
+/// extents [dims[perm[0]]]...[dims[perm[N-1]]].  Runs through
+/// default_context() — see transpose_context::permute_nd for the caching
+/// and decomposition contract.
+template <typename T>
+void permute_nd(T* data, std::span<const std::size_t> dims,
+                std::span<const int> perm, const options& opts = {}) {
+  default_context().permute_nd(data, dims, perm, opts);
+}
+
 /// Permutes the axes of a row-major [d0][d1][d2] tensor in place.
 /// Afterwards the buffer is row-major with extents
 /// [d_{perm[0]}][d_{perm[1]}][d_{perm[2]}] and
 /// out[a][b][c] == in[i0][i1][i2] where (i_{perm[0]}, i_{perm[1]},
-/// i_{perm[2]}) = (a, b, c).
+/// i_{perm[2]}) = (a, b, c).  Thin wrapper over permute_nd.
 template <typename T>
 void permute3(T* data, std::size_t d0, std::size_t d1, std::size_t d2,
               const axis_perm& perm, const options& opts = {}) {
   detail::validate_axis_perm(perm);
-  if (d0 != 0 && d1 != 0 && d2 != 0) {
-    detail::checked_extent(data, d0 * d1, d2);
-  }
-  const std::size_t total = d0 * d1 * d2;
-  if (total == 0) {
-    return;
-  }
-
-  const axis_perm identity{0, 1, 2};
-  if (perm == identity) {
-    return;
-  }
-  if (perm == axis_perm{0, 2, 1}) {
-    transpose_batched(data, d0, d1, d2, storage_order::row_major, opts);
-    return;
-  }
-  if (perm == axis_perm{1, 2, 0}) {
-    transpose(data, d0, d1 * d2, storage_order::row_major, opts);
-    return;
-  }
-  if (perm == axis_perm{2, 0, 1}) {
-    transpose(data, d0 * d1, d2, storage_order::row_major, opts);
-    return;
-  }
-  if (perm == axis_perm{1, 0, 2}) {
-    detail::transpose_chunk_matrix(data, d0, d1, d2);
-    return;
-  }
-  // perm == {2, 1, 0}: swap the last two axes per slab, then rotate the
-  // leading axis to the back.
-  transpose_batched(data, d0, d1, d2, storage_order::row_major, opts);
-  transpose(data, d0, d2 * d1, storage_order::row_major, opts);
+  const std::array<std::size_t, 3> dims{d0, d1, d2};
+  default_context().permute_nd(
+      data, std::span<const std::size_t>(dims.data(), dims.size()),
+      std::span<const int>(perm.data(), perm.size()), opts);
 }
 
 }  // namespace inplace

@@ -1,0 +1,463 @@
+#pragma once
+// Arbitrary-rank in-place axis permutation: the execution half of the
+// HPTT-style engine (planning lives in core/tensor_plan.hpp).  An
+// nd_transposer replays a tensor_plan's adjacent-group-swap passes:
+//
+//   * chunk == 1 passes run through the planned 2-D executor
+//     (core/executor.hpp) — one transposer<T> arena per pass, so kernel
+//     tiers, NT-streaming policy, stage-boundary rollback and the OOM
+//     degradation ladder all apply per pass;
+//   * chunk > 1 passes run chunk-grid cycle following over a rows x cols
+//     grid of contiguous chunk-element blocks, with scratch from the
+//     audited funnel below (its own three-rung OOM ladder, mirroring
+//     detail::acquire_scratch: byte visited map -> packed bitset ->
+//     O(1)-space leader-min cycle following with one element in flight).
+//
+// Failure semantics match the 2-D paths: "tensor.pass.begin" fires before
+// each pass moves anything, and any pass failure rolls the completed
+// passes back in reverse (the inverse of an adjacent-group swap is the
+// same swap with the grid extents exchanged), so every entry point throws
+// with the caller's buffer restored-or-untouched.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/tensor_plan.hpp"
+#include "util/aligned.hpp"
+
+namespace inplace {
+
+/// Non-owning rank-generic view of a row-major tensor with
+/// contract-checked element access — the rank-N generalization of
+/// tensor_view (core/tensor.hpp).  Extents validate through the
+/// overflow-checked N-D funnel at construction.
+template <typename T>
+class tensor_view_nd {
+ public:
+  tensor_view_nd(T* data, std::span<const std::size_t> dims)
+      : data_(data), rank_(dims.size()) {
+    if (rank_ > tensor_max_rank) {
+      throw error("inplace: tensor_view_nd rank exceeds tensor_max_rank");
+    }
+    total_ = detail::checked_extent_nd(data, dims.data(), dims.size(),
+                                       sizeof(T));
+    std::size_t stride = 1;
+    for (std::size_t k = rank_; k-- > 0;) {
+      dims_[k] = dims[k];
+      strides_[k] = stride;
+      stride *= dims[k];
+    }
+  }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const { return total_; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  [[nodiscard]] std::size_t extent(std::size_t axis) const {
+    INPLACE_REQUIRE(axis < rank_, "tensor_view_nd axis out of range");
+    return dims_[axis];
+  }
+
+  /// Bounds-checked element access (Checked builds; unchecked in Release).
+  [[nodiscard]] T& at(std::span<const std::size_t> idx) const {
+    INPLACE_CHECK(idx.size() == rank_,
+                  "tensor_view_nd index rank does not match the view");
+    for (std::size_t k = 0; k < rank_; ++k) {
+      INPLACE_CHECK(idx[k] < dims_[k], "tensor_view_nd index out of range");
+    }
+    return (*this)(idx);
+  }
+
+  /// Unchecked element access.
+  [[nodiscard]] T& operator()(std::span<const std::size_t> idx) const {
+    std::size_t lin = 0;
+    for (std::size_t k = 0; k < rank_; ++k) {
+      lin += idx[k] * strides_[k];
+    }
+    return data_[lin];
+  }
+
+ private:
+  T* data_;
+  std::size_t rank_;
+  std::size_t total_ = 0;
+  std::array<std::size_t, tensor_max_rank> dims_{};
+  std::array<std::size_t, tensor_max_rank> strides_{};
+};
+
+namespace detail {
+
+/// Scratch for the chunk-grid passes, acquired only through
+/// acquire_chunk_scratch below.  The rung records where acquisition
+/// landed: full (one visited byte per grid slot), reduced (packed visited
+/// bitset), or cycle_follow (no scratch at all — the O(1)-space path).
+template <typename T>
+struct chunk_scratch {
+  util::aligned_vector<std::uint8_t> bits;
+  util::aligned_vector<T> tmp;  ///< one chunk in flight
+  scratch_rung rung = scratch_rung::cycle_follow;
+
+  [[nodiscard]] std::size_t bytes() const {
+    return bits.capacity() + tmp.capacity() * sizeof(T);
+  }
+};
+
+/// The audited allocation funnel for chunk-grid scratch, walking the same
+/// shape of OOM ladder as detail::acquire_scratch: every rung fires the
+/// "tensor.chunk.alloc" failpoint, allocation goes through
+/// util::aligned_vector (which carries the "alloc.aligned" failpoint),
+/// and bad_alloc demotes instead of failing.  Exceptions other than
+/// bad_alloc (including injected_fault) propagate untouched — nothing has
+/// run yet, so the caller's buffer is untouched too.
+template <typename T>
+chunk_scratch<T> acquire_chunk_scratch(std::uint64_t slots,
+                                       std::uint64_t chunk) {
+  chunk_scratch<T> s;
+  try {
+    INPLACE_FAILPOINT("tensor.chunk.alloc");
+    // inplace-lint: allow-next(raw-alloc): the audited funnel itself —
+    // aligned_vector growth carries the alloc.aligned failpoint and this
+    // site owns the demotion ladder
+    s.bits.resize(static_cast<std::size_t>(slots));
+    // inplace-lint: allow-next(raw-alloc): audited funnel (see above)
+    s.tmp.resize(static_cast<std::size_t>(chunk));
+    s.rung = scratch_rung::full;
+    return s;
+  } catch (const std::bad_alloc&) {
+    s.bits = util::aligned_vector<std::uint8_t>();
+    s.tmp = util::aligned_vector<T>();
+  }
+  try {
+    INPLACE_FAILPOINT("tensor.chunk.alloc");
+    // inplace-lint: allow-next(raw-alloc): audited funnel, reduced rung —
+    // one packed visited bit per grid slot instead of a byte
+    s.bits.resize(static_cast<std::size_t>((slots + 7) / 8));
+    // inplace-lint: allow-next(raw-alloc): audited funnel (see above)
+    s.tmp.resize(static_cast<std::size_t>(chunk));
+    s.rung = scratch_rung::reduced;
+    return s;
+  } catch (const std::bad_alloc&) {
+    s.bits = util::aligned_vector<std::uint8_t>();
+    s.tmp = util::aligned_vector<T>();
+  }
+  // Last rung: no allocation at all — the O(1)-space leader-min walk.
+  s.rung = scratch_rung::cycle_follow;
+  return s;
+}
+
+/// Chunk-grid transpose with no auxiliary state: for each slot cycle,
+/// only the minimum slot leads (every cycle is walked once to check),
+/// and the chunk contents rotate one element offset at a time with a
+/// single element in flight.  O(cycle length) extra walks, O(1) space —
+/// the chunk-path analogue of baselines::cycle_following_permute_limited.
+template <typename T>
+void run_chunk_grid_inplace(T* base, std::uint64_t rows, std::uint64_t cols,
+                            std::uint64_t chunk) {
+  const std::uint64_t slots = rows * cols;
+  for (std::uint64_t y = 0; y < slots; ++y) {
+    // Gather permutation: slot w receives the chunk from slot
+    // src(w) = (w mod rows) * cols + (w / rows).
+    std::uint64_t w = (y % rows) * cols + y / rows;
+    if (w == y) {
+      continue;
+    }
+    bool leader = true;
+    while (w != y) {
+      if (w < y) {
+        leader = false;
+        break;
+      }
+      w = (w % rows) * cols + w / rows;
+    }
+    if (!leader) {
+      continue;
+    }
+    for (std::uint64_t off = 0; off < chunk; ++off) {
+      T saved = base[y * chunk + off];
+      std::uint64_t v = y;
+      for (;;) {
+        const std::uint64_t src = (v % rows) * cols + v / rows;
+        if (src == y) {
+          base[v * chunk + off] = saved;
+          break;
+        }
+        base[v * chunk + off] = base[src * chunk + off];
+        v = src;
+      }
+    }
+  }
+}
+
+/// One chunk-grid pass through whichever rung the scratch funnel landed
+/// on: transposes a rows x cols grid of contiguous chunk-element blocks
+/// in place (block (i, j) moves to slot j*rows + i).
+template <typename T>
+void run_chunk_pass(T* base, std::uint64_t rows, std::uint64_t cols,
+                    std::uint64_t chunk, chunk_scratch<T>& s) {
+  INPLACE_REQUIRE(base != nullptr, "chunk pass invoked with null data");
+  if (rows <= 1 || cols <= 1 || chunk == 0) {
+    return;
+  }
+  if (s.rung == scratch_rung::cycle_follow) {
+    run_chunk_grid_inplace(base, rows, cols, chunk);
+    return;
+  }
+  const std::uint64_t slots = rows * cols;
+  const bool packed = s.rung == scratch_rung::reduced;
+  std::fill(s.bits.begin(), s.bits.end(), std::uint8_t{0});
+  const auto visited = [&](std::uint64_t w) {
+    return packed ? ((s.bits[w >> 3] >> (w & 7)) & 1u) != 0
+                  : s.bits[w] != 0;
+  };
+  const auto mark = [&](std::uint64_t w) {
+    if (packed) {
+      s.bits[w >> 3] = static_cast<std::uint8_t>(s.bits[w >> 3] |
+                                                 (1u << (w & 7)));
+    } else {
+      s.bits[w] = 1;
+    }
+  };
+  for (std::uint64_t y = 0; y < slots; ++y) {
+    if (visited(y)) {
+      continue;
+    }
+    const std::uint64_t first_src = (y % rows) * cols + y / rows;
+    mark(y);
+    if (first_src == y) {
+      continue;
+    }
+    std::copy(base + y * chunk, base + (y + 1) * chunk, s.tmp.begin());
+    std::uint64_t w = y;
+    for (;;) {
+      const std::uint64_t src = (w % rows) * cols + w / rows;
+      mark(w);
+      if (src == y) {
+        std::copy(s.tmp.begin(), s.tmp.begin() + static_cast<std::ptrdiff_t>(
+                                                     chunk),
+                  base + w * chunk);
+        break;
+      }
+      std::copy(base + src * chunk, base + (src + 1) * chunk,
+                base + w * chunk);
+      w = src;
+    }
+  }
+}
+
+/// Restores the slabs a failing batched 2-D pass already completed (the
+/// failing slab itself was restored by the inner executor's own
+/// stage-boundary rollback).  Best-effort by design: building or running
+/// the inverse executor can itself fail with the original exception in
+/// flight, and then the buffer stays as-is — the documented
+/// "unrecoverable" row of the failure taxonomy (DESIGN.md §11).
+template <typename T>
+void rollback_nd_slabs(T* data, const nd_pass& p,
+                       std::uint64_t completed) noexcept {
+  if (completed == 0) {
+    return;
+  }
+  try {
+    transposer<T> inv(static_cast<std::size_t>(p.cols),
+                      static_cast<std::size_t>(p.rows));
+    const std::uint64_t slab = p.rows * p.cols * p.chunk;
+    for (std::uint64_t k = completed; k-- > 0;) {
+      inv(data + k * slab);
+    }
+  } catch (...) {
+    // Unrecoverable: leave the buffer as-is (never throw past here).
+  }
+}
+
+/// Inverts the completed passes of a tensor plan in reverse order: the
+/// inverse of the adjacent-group swap (P, X, Y, S) -> (P, Y, X, S) is the
+/// same swap with the grid extents exchanged.  Chunk passes invert
+/// through the O(1)-space walk (no allocation on the rollback path).
+/// Best-effort, same taxonomy row as rollback_nd_slabs.
+template <typename T>
+void rollback_nd_passes(T* data, const tensor_plan& plan,
+                        std::size_t completed) noexcept {
+  try {
+    for (std::size_t i = completed; i-- > 0;) {
+      const nd_pass& p = plan.passes[i];
+      const std::uint64_t slab = p.rows * p.cols * p.chunk;
+      if (p.chunk == 1) {
+        transposer<T> inv(static_cast<std::size_t>(p.cols),
+                          static_cast<std::size_t>(p.rows));
+        for (std::uint64_t k = 0; k < p.batch; ++k) {
+          inv(data + k * slab);
+        }
+      } else {
+        for (std::uint64_t k = 0; k < p.batch; ++k) {
+          run_chunk_grid_inplace(data + k * slab, p.cols, p.rows, p.chunk);
+        }
+      }
+    }
+  } catch (...) {
+    // Unrecoverable: leave the buffer as-is (never throw past here).
+  }
+}
+
+/// Emits one telemetry plan record for a tensor execution (any path:
+/// "nd" runs passes, "identity" and "empty" are the early returns PR 3's
+/// gap fix covers for the 2-D paths).  Compiles to nothing unless the
+/// translation unit defines INPLACE_TELEMETRY.
+template <typename T>
+inline void note_tensor_record([[maybe_unused]] std::uint64_t total,
+                               [[maybe_unused]] std::size_t rank,
+                               [[maybe_unused]] std::size_t passes,
+                               [[maybe_unused]] bool from_cache,
+                               [[maybe_unused]] scratch_rung rung,
+                               [[maybe_unused]] const char* path) {
+#if INPLACE_TELEMETRY_ENABLED
+  if (telemetry::current_sink() != nullptr) {
+    const util::thread_probe probe = util::probe_thread_count(0);
+    telemetry::plan_record rec;
+    rec.engine = "tensor";
+    rec.direction = path;
+    rec.m = total;
+    rec.n = passes;
+    rec.block_width = rank;
+    rec.elem_size = sizeof(T);
+    rec.strength_reduction = true;
+    rec.kernel_tier = "";
+    rec.threads_requested = probe.requested;
+    rec.threads_active = probe.active;
+    rec.threads_honored = probe.honored;
+    rec.from_cache = from_cache;
+    rec.rung = rung_name(rung);
+    INPLACE_TELEMETRY_PLAN(rec);
+  }
+#endif
+}
+
+}  // namespace detail
+
+/// Reusable rank-N permutation executor: adopts a tensor_plan, builds one
+/// arena per pass (a transposer<T> for executor passes, funnel-acquired
+/// scratch for chunk passes) and replays the passes per execution.
+///
+/// Not thread-safe — one instance must not execute on two threads at once
+/// (the per-pass arenas are exclusive to one execution); transpose_context
+/// hands out distinct instances to concurrent callers, exactly as it does
+/// for transposer<T>.
+template <typename T>
+class nd_transposer {
+ public:
+  explicit nd_transposer(detail::tensor_plan plan, const options& opts = {})
+      : plan_(std::move(plan)) {
+    // inplace-lint: allow-next(raw-alloc): cold-path arena construction,
+    // sized once at plan adoption (mirrors the transposer<T> constructor)
+    passes_.reserve(plan_.passes.size());
+    for (const auto& p : plan_.passes) {
+      pass_state ps;
+      ps.pass = p;
+      if (p.chunk == 1) {
+        ps.tr.emplace(static_cast<std::size_t>(p.rows),
+                      static_cast<std::size_t>(p.cols),
+                      storage_order::row_major, opts);
+        worst_rung_ = std::max(worst_rung_, ps.tr->plan().rung);
+      } else {
+        ps.scratch =
+            detail::acquire_chunk_scratch<T>(p.rows * p.cols, p.chunk);
+        worst_rung_ = std::max(worst_rung_, ps.scratch.rung);
+      }
+      // inplace-lint: allow-next(raw-alloc): cold-path arena construction
+      // (see the reserve above)
+      passes_.push_back(std::move(ps));
+    }
+  }
+
+  [[nodiscard]] const detail::tensor_plan& plan() const { return plan_; }
+
+  /// True when any pass's scratch acquisition landed below
+  /// scratch_rung::full (an OOM ladder engaged while building the arena).
+  [[nodiscard]] bool degraded() const {
+    return worst_rung_ != scratch_rung::full;
+  }
+
+  /// Permutes one tensor in place.  `data` must have the planned extents.
+  void operator()(T* data) { execute(data, /*from_cache=*/false); }
+
+  /// operator() with the telemetry provenance flag transpose_context
+  /// passes for cached arenas (matches transposer<T>::execute).
+  void execute(T* data, bool from_cache) {
+    detail::note_tensor_record<T>(plan_.norm.total, plan_.norm.rank,
+                                  passes_.size(), from_cache, worst_rung_,
+                                  passes_.empty() ? "identity" : "nd");
+    INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                           2 * plan_.norm.total * sizeof(T), cached_bytes());
+    std::size_t done = 0;
+    try {
+      for (; done < passes_.size(); ++done) {
+        // Models a fault at a pass boundary: fires before the pass moves
+        // anything, so passes 0..done-1 are complete and the rollback
+        // below restores the caller's buffer bit-exactly.
+        INPLACE_FAILPOINT("tensor.pass.begin");
+        run_pass(data, passes_[done], from_cache);
+      }
+    } catch (...) {
+      detail::rollback_nd_passes(data, plan_, done);
+      throw;
+    }
+  }
+
+  /// Approximate bytes retained by the per-pass arenas; transpose_context
+  /// uses it to bound the total memory its arena cache pins.
+  [[nodiscard]] std::size_t cached_bytes() const {
+    std::size_t total = passes_.capacity() * sizeof(pass_state);
+    for (const auto& ps : passes_) {
+      total += ps.tr ? ps.tr->cached_bytes() : ps.scratch.bytes();
+    }
+    return total;
+  }
+
+ private:
+  struct pass_state {
+    detail::nd_pass pass;
+    std::optional<transposer<T>> tr;  ///< chunk == 1 passes
+    detail::chunk_scratch<T> scratch;  ///< chunk > 1 passes
+  };
+
+  void run_pass(T* data, pass_state& ps, bool from_cache) {
+    const detail::nd_pass& p = ps.pass;
+    const std::uint64_t slab = p.rows * p.cols * p.chunk;
+    INPLACE_TELEMETRY_SPAN(
+        span_pass, telemetry::stage::total, 2 * plan_.norm.total * sizeof(T),
+        ps.tr ? ps.tr->plan().scratch_elements() * sizeof(T)
+              : ps.scratch.bytes());
+    if (p.chunk == 1) {
+      std::uint64_t k = 0;
+      try {
+        for (; k < p.batch; ++k) {
+          ps.tr->execute(data + k * slab, from_cache);
+        }
+      } catch (...) {
+        // The failing slab was restored by the executor's stage-boundary
+        // rollback; re-transpose the completed slabs so the whole pass
+        // leaves this frame restored-or-untouched.
+        detail::rollback_nd_slabs(data, p, k);
+        throw;
+      }
+    } else {
+      // The chunk loop allocates nothing and runs no engine — once the
+      // pass starts it completes (faults inject at the pass boundary).
+      for (std::uint64_t k = 0; k < p.batch; ++k) {
+        detail::run_chunk_pass(data + k * slab, p.rows, p.cols, p.chunk,
+                               ps.scratch);
+      }
+    }
+  }
+
+  detail::tensor_plan plan_;
+  std::vector<pass_state> passes_;
+  scratch_rung worst_rung_ = scratch_rung::full;
+};
+
+}  // namespace inplace

@@ -1,0 +1,118 @@
+#pragma once
+// Plan-time machinery for arbitrary-rank axis permutation (the HPTT
+// direction: Springer et al., PAPERS.md).  Any rank-N permutation of a
+// row-major tensor decomposes into a short sequence of *adjacent group
+// swaps*: with the current axis order split as (P, X, Y, S), one pass
+// reorders the layout to (P, Y, X, S).  Each such pass is exactly one of
+// the primitives this repo already has:
+//
+//   |S| == 0              batched 2-D transposition: prod(P) independent
+//                         prod(X) x prod(Y) matrices through the planned
+//                         executor (kernel tiers, NT streaming, rollback,
+//                         OOM ladder all apply);
+//   |P| == |S| == 0       one flat 2-D transposition of the reshaped
+//                         prod(X) x prod(Y) view;
+//   |S| >  0              chunk-grid cycle following: a prod(X) x prod(Y)
+//                         grid of contiguous prod(S)-element blocks.
+//
+// Planning happens in three steps, mirroring HPTT:
+//
+//   1. normalize_nd — drop unit extents and fuse input-adjacent axes that
+//      stay adjacent (in order) under the permutation.  NCHW->NHWC, for
+//      example, fuses H,W and becomes a rank-3 problem with a single
+//      batched-transpose decomposition.
+//   2. make_tensor_plan — Dijkstra over the (normalized-rank)! axis
+//      orderings, every adjacent-group swap an edge, edge cost scored by
+//      the memsim roofline model (memsim::predict_heuristic on the pass's
+//      matrix shape, batch-scaled).  The cheapest path from the identity
+//      order to the target order is the emitted pass sequence.
+//   3. tensor_goal::worst — the same search maximizing cost under a pass
+//      budget, used by bench/ablation_tensor_nd to measure what the
+//      search buys over a naive decomposition order.
+//
+// Execution (core/tensor_nd.hpp) replays the passes; the plan is memoized
+// in transpose_context keyed by the normalized (dims, perm).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/errors.hpp"
+
+namespace inplace {
+
+/// Upper bound on the tensor rank permute_nd accepts.  Eight axes pack as
+/// 4-bit nibbles into the context key's nd_perm word, and 8! = 40320 axis
+/// orderings keep the plan search tractable.
+inline constexpr std::size_t tensor_max_rank = 8;
+
+namespace detail {
+
+/// A permutation after normalization: unit extents dropped, adjacent
+/// axes that the permutation keeps adjacent (in order) fused.  rank <= 1
+/// means the permutation is the identity on memory.  perm[k] names the
+/// normalized input axis that becomes output axis k — the same convention
+/// as permute3/permute_nd.  By construction a normalized perm of rank >= 2
+/// is never the identity (an identity residual would have fused).
+struct nd_normalized {
+  std::size_t rank = 0;
+  std::array<std::uint64_t, tensor_max_rank> dims{};
+  std::array<std::uint8_t, tensor_max_rank> perm{};
+  std::uint64_t total = 0;  ///< element count of the full tensor
+};
+
+/// Throws inplace::error unless perm is a permutation of {0..rank-1},
+/// dims/perm agree on the rank, and the rank is within tensor_max_rank.
+void validate_nd_perm(std::span<const std::size_t> dims,
+                      std::span<const int> perm);
+
+/// Normalizes a validated (dims, perm) pair.  Requires every extent
+/// nonzero (callers early-return empty tensors before planning).
+nd_normalized normalize_nd(std::span<const std::size_t> dims,
+                           std::span<const int> perm);
+
+/// The normalized perm packed as 4-bit nibbles (axis k in bits [4k,4k+4)),
+/// the context key's nd_perm word.
+[[nodiscard]] std::uint32_t pack_nd_perm(const nd_normalized& norm) noexcept;
+
+/// One decomposition pass: the current layout (P, X, Y, S) becomes
+/// (P, Y, X, S), i.e. `batch` independent rows x cols grids of
+/// contiguous chunk-element blocks transpose in place.  chunk == 1 passes
+/// route through the 2-D executor; chunk > 1 passes run the hardened
+/// chunk-grid cycle following (core/tensor_nd.hpp).
+struct nd_pass {
+  std::uint64_t batch = 1;
+  std::uint64_t rows = 1;
+  std::uint64_t cols = 1;
+  std::uint64_t chunk = 1;
+};
+
+/// Which end of the decomposition-order search to return.
+enum class tensor_goal : std::uint8_t {
+  best,   ///< Dijkstra minimum-cost pass sequence (the production plan)
+  worst,  ///< maximum-cost sequence within a pass budget (ablation foil)
+};
+
+/// A resolved rank-N permutation plan: the normalized problem and the
+/// ordered pass list.  An empty pass list means identity (nothing runs).
+struct tensor_plan {
+  nd_normalized norm;
+  std::vector<nd_pass> passes;
+  double model_seconds = 0.0;  ///< memsim score of the chosen sequence
+};
+
+/// Builds the pass sequence for an already-normalized permutation.
+/// Fires the "tensor.plan.search" failpoint before the search (plan-time
+/// fault: the caller's buffer is untouched).
+tensor_plan make_tensor_plan(const nd_normalized& norm, std::size_t elem_size,
+                             tensor_goal goal = tensor_goal::best);
+
+/// Convenience overload: validates, normalizes, then plans.
+tensor_plan make_tensor_plan(std::span<const std::size_t> dims,
+                             std::span<const int> perm, std::size_t elem_size,
+                             tensor_goal goal = tensor_goal::best);
+
+}  // namespace detail
+}  // namespace inplace

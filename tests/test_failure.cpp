@@ -717,4 +717,201 @@ TEST(ArenaConsistency, FailingExecutionsRacingClearStayConserved) {
   EXPECT_EQ(ctx.cached_bytes(), 0u);
 }
 
+// --- tensor engine (permute_nd) failure semantics ----------------------------
+
+/// Out-of-place rank-3 reference for the tensor rollback checks.
+std::vector<double> reference_permute3(const std::vector<double>& in,
+                                       std::size_t d0, std::size_t d1,
+                                       std::size_t d2, int p0, int p1,
+                                       int p2) {
+  const std::size_t dims[3] = {d0, d1, d2};
+  const int perm[3] = {p0, p1, p2};
+  const std::size_t od[3] = {dims[perm[0]], dims[perm[1]], dims[perm[2]]};
+  std::vector<double> out(in.size());
+  for (std::size_t i0 = 0; i0 < d0; ++i0) {
+    for (std::size_t i1 = 0; i1 < d1; ++i1) {
+      for (std::size_t i2 = 0; i2 < d2; ++i2) {
+        const std::size_t idx[3] = {i0, i1, i2};
+        out[(idx[perm[0]] * od[1] + idx[perm[1]]) * od[2] + idx[perm[2]]] =
+            in[(i0 * d1 + i1) * d2 + i2];
+      }
+    }
+  }
+  return out;
+}
+
+// A plan-search fault fires before anything is planned or moved: the
+// buffer is untouched, nothing executed, and nothing is retained.
+TEST(TensorFailure, PlanSearchFaultLeavesBufferUntouched) {
+  transpose_context ctx;
+  const std::size_t dims[3] = {8, 6, 4};
+  const int rev[3] = {2, 1, 0};
+  std::vector<double> src(8 * 6 * 4);
+  for (std::size_t l = 0; l < src.size(); ++l) {
+    src[l] = static_cast<double>(l);
+  }
+  auto buf = src;
+  {
+    fp::scoped_trigger armed("tensor.plan.search");
+    EXPECT_THROW(ctx.permute_nd(buf.data(), dims, rev),
+                 fp::injected_fault);
+    EXPECT_GE(fp::fires("tensor.plan.search"), 1u);
+  }
+  expect_same(buf, src, "buffer touched by a plan-time fault");
+  EXPECT_EQ(ctx.stats().executions, 0u);
+  EXPECT_EQ(ctx.cached_bytes(), 0u);
+  // Unarmed retry on the same context succeeds.
+  ctx.permute_nd(buf.data(), dims, rev);
+  expect_same(buf, reference_permute3(src, 8, 6, 4, 2, 1, 0),
+              "post-fault retry");
+}
+
+// The pass-boundary failpoint fires before pass k moves anything; the
+// engine must invert the k completed passes and hand back the caller's
+// buffer bit-exactly — at every boundary of a multi-pass plan.
+TEST(TensorFailure, PassBoundaryFaultRollsBackCompletedPasses) {
+  const std::size_t dims[3] = {6, 5, 4};
+  const int rev[3] = {2, 1, 0};
+  const detail::tensor_plan plan = detail::make_tensor_plan(
+      std::span<const std::size_t>(dims, 3), std::span<const int>(rev, 3),
+      sizeof(double));
+  ASSERT_GE(plan.passes.size(), 2u) << "need a multi-pass decomposition";
+  std::vector<double> src(6 * 5 * 4);
+  for (std::size_t l = 0; l < src.size(); ++l) {
+    src[l] = static_cast<double>(l) * 1.5 + 3.0;
+  }
+  for (std::size_t fail_at = 0; fail_at < plan.passes.size(); ++fail_at) {
+    SCOPED_TRACE(fail_at);
+    auto buf = src;
+    fp::scoped_trigger armed("tensor.pass.begin", fp::mode::fault,
+                             /*skip=*/fail_at, /*count=*/1);
+    nd_transposer<double> tr(plan);
+    EXPECT_THROW(tr(buf.data()), fp::injected_fault);
+    expect_same(buf, src, "buffer not restored after pass-boundary fault");
+  }
+  // Unarmed run completes and matches the reference.
+  auto buf = src;
+  nd_transposer<double> tr(plan);
+  tr(buf.data());
+  expect_same(buf, reference_permute3(src, 6, 5, 4, 2, 1, 0),
+              "unarmed tensor run");
+}
+
+// Context route for the same fault: the buffer restores, the checked-out
+// arena is dropped (not recycled mid-update), and the accounting stays
+// conserved — the ArenaConsistency contract extended to the tensor mode.
+TEST(TensorFailure, MidRunFaultDropsTheTensorArenaNotTheAccounting) {
+  transpose_context ctx;
+  const std::size_t dims[3] = {6, 5, 4};
+  const int rev[3] = {2, 1, 0};
+  std::vector<double> src(6 * 5 * 4);
+  for (std::size_t l = 0; l < src.size(); ++l) {
+    src[l] = static_cast<double>(l);
+  }
+  auto buf = src;
+  ctx.permute_nd(buf.data(), dims, rev);  // healthy cold run
+  const auto want = buf;
+  EXPECT_EQ(ctx.stats().arenas_created, 1u);
+
+  buf = src;
+  {
+    fp::scoped_trigger armed("tensor.pass.begin", fp::mode::fault,
+                             /*skip=*/1, /*count=*/1);
+    EXPECT_THROW(ctx.permute_nd(buf.data(), dims, rev),
+                 fp::injected_fault);
+  }
+  expect_same(buf, src, "context tensor run not rolled back");
+  const auto s = ctx.stats();
+  EXPECT_GE(s.arenas_dropped, 1u);
+  EXPECT_EQ(s.arenas_created + s.arenas_reused, s.executions);
+
+  // The dropped arena is rebuilt on the next call and the result is right.
+  ctx.permute_nd(buf.data(), dims, rev);
+  expect_same(buf, want, "post-drop tensor rerun");
+  EXPECT_EQ(ctx.stats().arenas_created, 2u);
+}
+
+// The chunk-scratch funnel walks its own OOM ladder: full (byte visited
+// map) -> reduced (packed bitset) -> cycle_follow (no allocation), and
+// every rung stays bit-exact.
+TEST(TensorOomLadder, ChunkScratchDegradesAndStaysExact) {
+  // A hand-built single-chunk-pass plan pins the funnel directly
+  // (regardless of which decomposition the search would pick).
+  const std::size_t d0 = 12;
+  const std::size_t d1 = 10;
+  const std::size_t d2 = 6;
+  detail::tensor_plan plan;
+  plan.norm.rank = 3;
+  plan.norm.dims = {d0, d1, d2};
+  plan.norm.perm = {1, 0, 2};
+  plan.norm.total = d0 * d1 * d2;
+  plan.passes.push_back(detail::nd_pass{1, d0, d1, d2});
+  std::vector<double> src(plan.norm.total);
+  for (std::size_t l = 0; l < src.size(); ++l) {
+    src[l] = static_cast<double>(l) * 0.25;
+  }
+  const auto want = reference_permute3(src, d0, d1, d2, 1, 0, 2);
+
+  {
+    // Healthy: the full rung (one visited byte per grid slot).
+    auto buf = src;
+    nd_transposer<double> tr(plan);
+    EXPECT_FALSE(tr.degraded());
+    tr(buf.data());
+    expect_same(buf, want, "full rung");
+  }
+  {
+    // First rung refused: the funnel lands on the packed bitset.
+    auto buf = src;
+    fp::scoped_trigger no_full("tensor.chunk.alloc", fp::mode::oom,
+                               /*skip=*/0, /*count=*/1);
+    nd_transposer<double> tr(plan);
+    EXPECT_TRUE(tr.degraded());
+    tr(buf.data());
+    expect_same(buf, want, "reduced rung");
+  }
+  {
+    // Both allocating rungs refused: O(1)-space cycle following.
+    auto buf = src;
+    fp::scoped_trigger no_alloc("tensor.chunk.alloc", fp::mode::oom);
+    nd_transposer<double> tr(plan);
+    EXPECT_TRUE(tr.degraded());
+    tr(buf.data());
+    EXPECT_GE(fp::fires("tensor.chunk.alloc"), 2u);
+    expect_same(buf, want, "cycle_follow rung");
+  }
+  {
+    // Real allocator failures (the aligned-allocator shim) walk the same
+    // ladder — the funnel allocates only through the audited path.
+    auto buf = src;
+    fp::scoped_trigger no_alloc("alloc.aligned", fp::mode::oom);
+    nd_transposer<double> tr(plan);
+    EXPECT_TRUE(tr.degraded());
+    tr(buf.data());
+    expect_same(buf, want, "allocator-driven cycle_follow");
+  }
+}
+
+// Degraded tensor arenas surface in the context stats exactly as the 2-D
+// ladder's do.
+TEST(TensorOomLadder, ContextCountsDegradedTensorArenas) {
+  fp::scoped_trigger no_alloc("tensor.chunk.alloc", fp::mode::oom);
+  transpose_context ctx;
+  const std::size_t dims[3] = {12, 10, 6};
+  const int swap01[3] = {1, 0, 2};
+  std::vector<double> buf(12 * 10 * 6);
+  for (std::size_t l = 0; l < buf.size(); ++l) {
+    buf[l] = static_cast<double>(l);
+  }
+  const auto src = buf;
+  ctx.permute_nd(buf.data(), dims, swap01);
+  expect_same(buf, reference_permute3(src, 12, 10, 6, 1, 0, 2),
+              "degraded context run");
+  // Only counted if the searched plan actually contains a chunk pass;
+  // either way the run stayed exact above.
+  if (fp::fires("tensor.chunk.alloc") > 0) {
+    EXPECT_EQ(ctx.stats().arenas_degraded, 1u);
+  }
+}
+
 }  // namespace

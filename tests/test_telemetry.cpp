@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/tensor.hpp"
 #include "core/transpose.hpp"
 #include "util/matrix.hpp"
 
@@ -175,6 +176,78 @@ TEST(Telemetry, DegenerateShapesStillRecordPlanAndTotalSpan) {
   EXPECT_EQ(coll.plans_seen(), 3u);
   // Two distinct records: the 1 x n plan (seen twice) and the n x 1 plan.
   ASSERT_EQ(coll.plan_counts().size(), 2u);
+  EXPECT_EQ(telemetry::span_depth(), 0);
+}
+
+// Regression: permute3's early returns (identity permutation, empty or
+// unit extents) used to skip telemetry entirely, so layout-conversion
+// sweeps undercounted exactly the calls the normalizer elides.  Every
+// tensor path — including the ones that move no data — must record a
+// plan ("tensor" engine, direction naming the path) and a total span.
+TEST(Telemetry, TensorIdentityAndEmptyPathsStillRecord) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  std::vector<float> a(2 * 3 * 4);
+  util::fill_iota(std::span<float>(a));
+  const auto before = a;
+  permute3(a.data(), 2, 3, 4, {0, 1, 2});        // identity permutation
+  EXPECT_EQ(a, before);
+  permute3<float>(nullptr, 2, 0, 4, {2, 1, 0});  // empty tensor
+  permute3(a.data(), 1, 24, 1, {2, 1, 0});       // identity in disguise
+  EXPECT_EQ(a, before);
+
+  std::uint64_t identity = 0;
+  std::uint64_t empty = 0;
+  for (const auto& p : coll.plan_counts()) {
+    if (std::string(p.rec.engine) != "tensor") {
+      continue;
+    }
+    if (std::string(p.rec.direction) == "identity") {
+      identity += p.count;
+      EXPECT_EQ(p.rec.m, 24u);     // element count
+      EXPECT_EQ(p.rec.n, 0u);      // passes run
+    } else if (std::string(p.rec.direction) == "empty") {
+      empty += p.count;
+      EXPECT_EQ(p.rec.m, 0u);
+    }
+  }
+  EXPECT_EQ(identity, 2u);
+  EXPECT_EQ(empty, 1u);
+  const auto totals = coll.totals();
+  const auto& total =
+      totals[static_cast<std::size_t>(telemetry::stage::total)];
+  EXPECT_EQ(total.calls, 3u);  // one envelope span per call, even empty
+  EXPECT_EQ(telemetry::span_depth(), 0);
+}
+
+// A real N-D run records the "tensor" plan (direction "nd", n = pass
+// count, block_width = normalized rank) plus nested spans: the envelope,
+// one span per pass, and the inner 2-D executor's own records beneath.
+TEST(Telemetry, TensorNdRunsRecordEnvelopeAndPerPassSpans) {
+  telemetry::collector coll;
+  telemetry::scoped_sink guard(&coll);
+  std::vector<float> a(6 * 5 * 4);
+  util::fill_iota(std::span<float>(a));
+  permute3(a.data(), 6, 5, 4, {2, 1, 0});
+
+  std::uint64_t nd = 0;
+  std::uint64_t nd_passes = 0;
+  for (const auto& p : coll.plan_counts()) {
+    if (std::string(p.rec.engine) == "tensor") {
+      ASSERT_STREQ(p.rec.direction, "nd");
+      nd += p.count;
+      nd_passes = p.rec.n;
+      EXPECT_EQ(p.rec.m, 120u);
+      EXPECT_EQ(p.rec.block_width, 3u);  // normalized rank
+    }
+  }
+  EXPECT_EQ(nd, 1u);
+  EXPECT_GE(nd_passes, 1u);
+  const auto totals = coll.totals();
+  const auto& total =
+      totals[static_cast<std::size_t>(telemetry::stage::total)];
+  // Envelope + one span per pass (the inner executors add more).
+  EXPECT_GE(total.calls, 1u + nd_passes);
   EXPECT_EQ(telemetry::span_depth(), 0);
 }
 

@@ -129,4 +129,24 @@ TEST(Tensor, Validation) {
                error);
 }
 
+TEST(Tensor, OverflowingExtentsThrowInsteadOfWrapping) {
+  // Regression: permute3 and tensor_view used to compute d0*d1 (and
+  // d0*d1*d2) before any overflow check, so crafted extents wrapped
+  // size_t and the wrapped value — often 0, i.e. "empty tensor" — passed
+  // validation silently.  Both now route through the N-D extent funnel,
+  // which checks every partial product and the byte extent.
+  std::vector<std::uint32_t> a(8);
+  const std::size_t big = std::size_t{1} << 32;  // big * big wraps to 0
+  EXPECT_THROW(permute3(a.data(), big, big, 2, {2, 1, 0}), error);
+  EXPECT_THROW(permute3(a.data(), big, 2, big, {1, 0, 2}), error);
+  EXPECT_THROW(permute3(a.data(), 2, big, big, {0, 2, 1}), error);
+  // The element count fits size_t but the byte extent wraps.
+  EXPECT_THROW(permute3(a.data(), std::size_t{1} << 62, 2, 2, {2, 1, 0}),
+               error);
+  EXPECT_THROW(tensor_view<std::uint32_t>(a.data(), big, big, 2), error);
+  EXPECT_THROW(
+      tensor_view<std::uint32_t>(a.data(), std::size_t{1} << 62, 2, 2),
+      error);
+}
+
 }  // namespace

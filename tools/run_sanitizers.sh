@@ -56,7 +56,7 @@ run_matrix_entry() {
   echo "=== [$name] ctest engines, INPLACE_FORCE_KERNEL_TIER=scalar"
   (cd "$build_dir" && INPLACE_FORCE_KERNEL_TIER=scalar \
      ctest --output-on-failure -j "$jobs" \
-           -R 'Transpose|Skinny|Integration|Executor|Primitives')
+           -R 'Transpose|Skinny|Integration|Executor|Primitives|PermuteNd|Tensor')
 
   # Third pass — failure semantics under injection: the whole process runs
   # with the OOM ladder env-forced off its first rung while the suite's own
@@ -66,7 +66,7 @@ run_matrix_entry() {
   # registry tests assert a pristine arming state and would fight the env.
   echo "=== [$name] ctest failure semantics, INPLACE_FAILPOINTS=exec.alloc.full:oom"
   (cd "$build_dir" && INPLACE_FAILPOINTS="exec.alloc.full:oom" \
-     ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder')
+     ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder|TensorFailure')
 }
 
 # Compile-time companion to the TSan runtime entry: a clang build with
@@ -117,7 +117,7 @@ for entry in asan ubsan tsan tsa; do
     tsan)
       TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:history_size=7" \
         run_matrix_entry tsan thread \
-        'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck|Async|ArenaConsistency|Sched|soak_smoke' \
+        'Integration|Transpose|Executor|Skinny|Threading|Context|Kernel|permcheck|Async|ArenaConsistency|Sched|soak_smoke|PermuteNd|Tensor' \
         || status=1
       ;;
     tsa)

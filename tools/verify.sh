@@ -92,7 +92,7 @@ echo "=== failure semantics: rollback/OOM-ladder suites with env-armed faults"
 # suite's own stage faults fire on top; the rollback and restore
 # guarantees must hold under that combination too.
 (cd "$repo_root/build" && INPLACE_FAILPOINTS="exec.alloc.full:oom" \
-   ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder')
+   ctest --output-on-failure -j "$jobs" -R 'Rollback|OomLadder|TensorFailure')
 
 if [[ $fast -eq 0 ]]; then
   "$repo_root/tools/run_sanitizers.sh" --only asan --jobs "$jobs"
@@ -133,6 +133,16 @@ if [[ $bench -eq 1 ]]; then
   "$repo_root/build/tools/bench_gate" \
       "$repo_root/bench/baselines/BENCH_ablation_cache_sharding.json" \
       "$bench_tmp/BENCH_ablation_cache_sharding.json"
+  echo "=== bench gate: tensor decomposition search vs committed baseline"
+  # Full scale: the searched-vs-worst-order timing gate arms only at
+  # (near-)full scale, and quick scales would not be comparable to the
+  # committed full-scale baseline.  Bit-exactness, model ordering and the
+  # warm permute_nd steady-state check are deterministic and always run.
+  "$repo_root/build/bench/ablation_tensor_nd" \
+      --json "$bench_tmp/BENCH_ablation_tensor_nd.json"
+  "$repo_root/build/tools/bench_gate" \
+      "$repo_root/bench/baselines/BENCH_ablation_tensor_nd.json" \
+      "$bench_tmp/BENCH_ablation_tensor_nd.json"
 fi
 
 if [[ $soak -eq 1 ]]; then
