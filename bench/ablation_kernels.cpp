@@ -110,6 +110,29 @@ std::uint64_t scaled_rows(std::uint64_t rows, double scale) {
   return std::max<std::uint64_t>(scaled, 64);
 }
 
+/// scaled_rows for the in-register tile probes: rounded up to a lane
+/// multiple (16 covers every tier's f64 lane width) and floored high
+/// enough that m / lanes > n keeps the tile gate engaged, so even the
+/// smoke run's bit-exactness pass goes through the ladder kernels.
+std::uint64_t scaled_tile_rows(std::uint64_t rows, double scale) {
+  const std::uint64_t scaled =
+      std::max<std::uint64_t>(scaled_rows(rows, scale), 1024);
+  return (scaled + 15) / 16 * 16;
+}
+
+/// One tile-probe transpose of m x n doubles with the given options,
+/// from an iota start; returns the buffer for bit-exactness checks.
+std::vector<double> result_with(std::uint64_t m, std::uint64_t n,
+                                const options& opts) {
+  std::vector<double> buf(static_cast<std::size_t>(m * n));
+  util::fill_iota(std::span<double>(buf));
+  transposer<double> tr(static_cast<std::size_t>(m),
+                        static_cast<std::size_t>(n),
+                        storage_order::row_major, opts);
+  tr(buf.data());
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,17 +223,127 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- in-register tile probes -------------------------------------------
+  //
+  // The Fig. 7/8/9 regime at the kernel layer: tall AoS<->SoA problems
+  // (small struct sizes n, millions of records m) where the skinny
+  // engine's chunk decomposition hands whole register tiles to the
+  // vpunpck/vpermd ladders.  Foil = the SAME native tier with the tile
+  // knob off (options::tile_mode::off), so the contrast isolates the
+  // in-register pass fusion from plain SIMD dispatch; bit-exactness is
+  // still checked against forced-scalar.  Gate: >= 1.25x on >= 2 of the
+  // 3 probe shapes, armed only at full scale (all probes >= L3 and
+  // tiled); the smoke run keeps the bit-exactness sweep.
+  const shape tile_bases[] = {{2621440, 16}, {5242880, 8}, {10485760, 4}};
+  bool tile_bit_exact = true;
+  int tile_gated = 0;
+  int tile_hits = 0;
+  std::printf("\n  in-register tile vs scratch-chunk foil (f64 AoS<->SoA)\n");
+  std::printf("  %-14s %10s %12s %12s %9s %6s\n", "shape", "MiB",
+              "foil ms", "tile ms", "speedup", "gated");
+  for (const shape& base : tile_bases) {
+    const std::uint64_t m = scaled_tile_rows(base.m, cfg.scale);
+    const std::uint64_t n = base.n;
+    const std::size_t bytes =
+        static_cast<std::size_t>(m * n) * sizeof(double);
+    options tile_opts;  // native tier, tile automatic
+    options foil_opts;
+    foil_opts.tile = options::tile_mode::off;
+    transposer<double> tile_tr(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n),
+                               storage_order::row_major, tile_opts);
+    transposer<double> foil_tr(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n),
+                               storage_order::row_major, foil_opts);
+    const bool tiled = tile_tr.plan().tile_block != 0;
+    const bool gated = tiled && bytes >= l3;
+
+    {
+      options scalar_opts;
+      scalar_opts.kernel = kernels::tier::scalar;
+      const std::vector<double> got_scalar = result_with(m, n, scalar_opts);
+      const std::vector<double> got_tile = result_with(m, n, tile_opts);
+      if (std::memcmp(got_scalar.data(), got_tile.data(), bytes) != 0) {
+        std::fprintf(stderr,
+                     "FAIL %llux%llu: in-register tile result differs "
+                     "from forced-scalar\n",
+                     static_cast<unsigned long long>(m),
+                     static_cast<unsigned long long>(n));
+        tile_bit_exact = false;
+      }
+    }
+
+    // Interleaved best-of-reps, same drift-cancelling discipline as the
+    // scalar/native pair above.
+    std::vector<double> buf(static_cast<std::size_t>(m * n));
+    double tile_ms = 0.0;
+    double foil_ms = 0.0;
+    {
+      std::vector<double> tile_samples;
+      std::vector<double> foil_samples;
+      for (int r = 0; r < reps; ++r) {
+        util::fill_iota(std::span<double>(buf));
+        util::timer fclk;
+        foil_tr(buf.data());
+        foil_samples.push_back(fclk.seconds() * 1e3);
+        util::fill_iota(std::span<double>(buf));
+        util::timer tclk;
+        tile_tr(buf.data());
+        tile_samples.push_back(tclk.seconds() * 1e3);
+      }
+      foil_ms = *std::min_element(foil_samples.begin(), foil_samples.end());
+      tile_ms = *std::min_element(tile_samples.begin(), tile_samples.end());
+    }
+    const double speedup = foil_ms / tile_ms;
+    std::printf("  %7llux%-6llu %10.1f %12.1f %12.1f %8.2fx %6s\n",
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(n),
+                static_cast<double>(bytes) / (1024.0 * 1024.0), foil_ms,
+                tile_ms, speedup, gated ? "yes" : "no");
+    rep.add_sample("tile_foil_ms", "ms", foil_ms,
+                   /*higher_is_better=*/false);
+    rep.add_sample("tile_ms", "ms", tile_ms, /*higher_is_better=*/false);
+    rep.add_sample("tile_speedup", "x", speedup);
+    if (gated) {
+      ++tile_gated;
+      if (speedup >= 1.25) {
+        ++tile_hits;
+      }
+    }
+  }
+  const int tile_shapes =
+      static_cast<int>(sizeof(tile_bases) / sizeof(tile_bases[0]));
+  const bool tile_gate_applicable = tile_gated == tile_shapes;
+  const bool tile_gate_met = tile_hits >= 2;
+
   rep.note("bit_exact", bit_exact);
   rep.note("gate_applicable", any_gated);
   rep.note("gate_met", gate_met);
+  rep.note("tile_bit_exact", tile_bit_exact);
+  rep.note("tile_gate_applicable", tile_gate_applicable);
+  rep.note("tile_gate_met", tile_gate_met);
+  rep.note("tile_gate_hits", static_cast<double>(tile_hits));
   rep.attach_telemetry(coll, INPLACE_TELEMETRY_ENABLED != 0);
   rep.write();
 
-  if (!bit_exact) {
+  if (!bit_exact || !tile_bit_exact) {
     std::fprintf(stderr,
                  "ablation_kernels: tier divergence — kernel correctness "
                  "regression\n");
     return 1;
+  }
+  if (tile_gate_applicable && !tile_gate_met) {
+    std::fprintf(stderr,
+                 "ablation_kernels: in-register tile cleared 1.25x on only "
+                 "%d of %d probe shapes (need 2) — tile perf regression\n",
+                 tile_hits, tile_shapes);
+    return 1;
+  }
+  if (!tile_gate_applicable) {
+    std::printf("\ntile speedup gate skipped (%s)\n",
+                tile_gated == 0 && cfg.scale < 1.0
+                    ? "probe shapes below L3 at this --scale"
+                    : "in-register tile not engaged on every probe shape");
   }
   if (!any_gated) {
     std::printf(

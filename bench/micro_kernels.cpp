@@ -16,6 +16,8 @@
 #include "core/transpose.hpp"
 #include "core/permute.hpp"
 #include "core/rotate.hpp"
+#include "cpu/kernels/kernel_set.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 #include "simd/register_transpose.hpp"
 #include "simd/vectorized.hpp"
 #include "util/bench_harness.hpp"
@@ -252,6 +254,57 @@ void BM_TransposePlanned(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * n);
 }
 BENCHMARK(BM_TransposePlanned);
+
+// --- In-register SIMD tile transpose (cpu/kernels/tile_inreg_*) --------------
+//
+// The real-ISA counterpart of BM_WarpRegisterTranspose below: one forward
+// plus one inverse tile pass over ~1 MiB of nregs x lanes f32 blocks,
+// through the native tier's vpunpck/vpermd ladder and through the portable
+// scalar ladder it must match bit-for-bit.
+
+constexpr std::size_t kTileSweepBytes = std::size_t{1} << 20;
+
+void BM_TileInregNative(benchmark::State& state) {
+  const auto& ks = kernels::set_for(kernels::native_tier());
+  const std::size_t nregs = static_cast<std::size_t>(state.range(0));
+  const std::size_t lanes = kernels::tile_lanes<float>(ks);
+  if (lanes == 0 || nregs > kernels::tile_max_regs<float>(ks)) {
+    state.SkipWithError("no in-register f32 tile on this tier");
+    return;
+  }
+  const std::size_t block = nregs * lanes;
+  const std::size_t nblocks = kTileSweepBytes / (block * sizeof(float));
+  std::vector<float> a(block * nblocks);
+  std::iota(a.begin(), a.end(), 0.0f);
+  for (auto _ : state) {
+    kernels::tile_pass<float>(ks, a.data(), nregs, nblocks, true);
+    kernels::tile_pass<float>(ks, a.data(), nregs, nblocks, false);
+    benchmark::ClobberMemory();
+  }
+  // Two passes, each reading and writing every element once.
+  state.SetBytesProcessed(state.iterations() * a.size() * sizeof(float) * 4);
+}
+BENCHMARK(BM_TileInregNative)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_TileInregPortable(benchmark::State& state) {
+  const auto& ks = kernels::set_for(kernels::native_tier());
+  const std::size_t nregs = static_cast<std::size_t>(state.range(0));
+  // Same lane width as the native run so the two series are comparable;
+  // fall back to 8 lanes when the host has no SIMD tile at all.
+  const std::size_t lanes =
+      kernels::tile_lanes<float>(ks) != 0 ? kernels::tile_lanes<float>(ks) : 8;
+  const std::size_t block = nregs * lanes;
+  const std::size_t nblocks = kTileSweepBytes / (block * sizeof(float));
+  std::vector<float> a(block * nblocks);
+  std::iota(a.begin(), a.end(), 0.0f);
+  for (auto _ : state) {
+    kernels::tile_pass_portable(a.data(), nregs, lanes, nblocks, true);
+    kernels::tile_pass_portable(a.data(), nregs, lanes, nblocks, false);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * a.size() * sizeof(float) * 4);
+}
+BENCHMARK(BM_TileInregPortable)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 // --- Section 6.2: warp register transpose -----------------------------------
 

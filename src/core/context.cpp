@@ -25,9 +25,9 @@ std::size_t context_key_hash::operator()(
   mix(k.elem_size);
   mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(
       k.type_tag)));
-  mix((std::uint64_t{k.kernel} << 32) | (std::uint64_t{k.mode} << 24) |
-      (std::uint64_t{k.order} << 16) | (std::uint64_t{k.alg} << 8) |
-      std::uint64_t{k.engine});
+  mix((std::uint64_t{k.tile} << 40) | (std::uint64_t{k.kernel} << 32) |
+      (std::uint64_t{k.mode} << 24) | (std::uint64_t{k.order} << 16) |
+      (std::uint64_t{k.alg} << 8) | std::uint64_t{k.engine});
   mix(static_cast<std::uint64_t>(k.strength_reduction));
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.threads)));
   mix(k.block_bytes);

@@ -170,6 +170,7 @@ struct context_key {
   std::uint8_t alg = 0;            ///< options::algorithm
   std::uint8_t engine = 0;         ///< engine_kind
   std::uint8_t kernel = 0;         ///< kernels::tier (requested, pre-resolve)
+  std::uint8_t tile = 0;           ///< options::tile_mode
   bool strength_reduction = true;
   int threads = 0;
   std::size_t block_bytes = 0;
@@ -312,6 +313,7 @@ class transpose_context {
     key.alg = static_cast<std::uint8_t>(opts.alg);
     key.engine = static_cast<std::uint8_t>(opts.engine);
     key.kernel = static_cast<std::uint8_t>(opts.kernel);
+    key.tile = static_cast<std::uint8_t>(opts.tile);
     key.strength_reduction = opts.strength_reduction;
     key.threads = opts.threads;
     key.block_bytes = opts.block_bytes;
@@ -562,6 +564,7 @@ class transpose_context {
     key.alg = static_cast<std::uint8_t>(opts.alg);
     key.engine = static_cast<std::uint8_t>(opts.engine);
     key.kernel = static_cast<std::uint8_t>(opts.kernel);
+    key.tile = static_cast<std::uint8_t>(opts.tile);
     key.strength_reduction = opts.strength_reduction;
     key.threads = opts.threads;
     key.block_bytes = opts.block_bytes;

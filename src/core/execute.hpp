@@ -20,6 +20,7 @@
 //     caller's buffer bit-exactly before the exception continues.
 
 #include <cstddef>
+#include <memory>
 #include <new>
 #include <optional>
 
@@ -34,6 +35,7 @@
 #include "core/telemetry.hpp"
 #include "cpu/engine_blocked.hpp"
 #include "cpu/engine_reference.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 #include "cpu/skinny.hpp"
 #include "util/threads.hpp"
 
@@ -62,7 +64,9 @@ inline void note_plan_record([[maybe_unused]] const transpose_plan& plan,
     rec.block_width = plan.block_width;
     rec.elem_size = sizeof(T);
     rec.strength_reduction = plan.strength_reduction;
-    rec.kernel_tier = kernels::tier_name(plan.ktier);
+    rec.kernel_tier = plan.tile_block != 0
+                          ? kernels::tier_name_inreg(plan.ktier)
+                          : kernels::tier_name(plan.ktier);
     rec.threads_requested = probe.requested;
     rec.threads_active = probe.active;
     rec.threads_honored = probe.honored;
@@ -73,13 +77,197 @@ inline void note_plan_record([[maybe_unused]] const transpose_plan& plan,
 #endif
 }
 
-/// The scratch an execution owns: at most one of the two members is
-/// engaged (pool for the blocked engine, ws for reference/skinny); both
-/// stay empty on the cycle_follow rung and for degenerate shapes.
+/// Type-erased executor for in-register tile plans (plan.tile_block != 0).
+/// The W template parameter must be a compile-time constant (lane_chunk's
+/// width is part of its type), so acquire_scratch dispatches once on
+/// plan.tile_block and the executors call through this interface.
+template <typename T>
+struct tile_runner_base {
+  virtual ~tile_runner_base() = default;
+  /// Runs the full chunked transposition, recording stage completion in
+  /// `prog` for rollback.  Throws like the skinny engine does.
+  virtual void run(T* data, const transpose_plan& plan,
+                   stage_progress* prog) = 0;
+  /// Inverts the completed stages in reverse order (best-effort, never
+  /// throws) — the tile-plan arm of rollback_stages.
+  virtual void rollback(T* data, const transpose_plan& plan,
+                        const stage_progress& prog) noexcept = 0;
+  /// Bytes retained by the chunk workspace and cycle memo.
+  [[nodiscard]] virtual std::size_t cached_bytes() const = 0;
+};
+
+/// The chunked skinny execution behind a tile plan: the element matrix is
+/// reinterpreted as an (m / W) x n grid of W-element lane_chunks and run
+/// through the ordinary skinny engine on chunks, with the in-register
+/// tile pass fused into the row pass as the engine's block hook — forward
+/// (static_r2c<n, W>) *before* the C2R scatter consumes each W x n slab,
+/// inverse (static_c2r) *after* the R2C gather assembles each row.  The
+/// composition is exactly the element-level C2R/R2C permutation (see
+/// cpu/kernels/tile_inreg.hpp for the factorization), and pairing each
+/// direction with its inverse hook keeps the two directions exact
+/// inverses, which the rollback path relies on.
+template <typename T, unsigned W>
+class tile_runner final : public tile_runner_base<T> {
+ public:
+  using chunk = kernels::lane_chunk<T, W>;
+
+  explicit tile_runner(const transpose_plan& plan)
+      : mm_(plan.m / W, plan.n) {
+    reserve_skinny(ws_, plan.m / W, plan.n);
+  }
+
+  void run(T* data, const transpose_plan& plan,
+           stage_progress* prog) override {
+    INPLACE_REQUIRE(plan.tile_block == W && plan.m == mm_.m * W &&
+                        plan.n == mm_.n,
+                    "tile runner shape does not match the plan");
+    const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
+    INPLACE_CHECK(kernels::tile_lanes<T>(ks) == W,
+                  "plan's kernel tier lost its tile pass after planning");
+    chunk* c = reinterpret_cast<chunk*>(data);
+    const std::uint64_t nregs = plan.n;
+    if (plan.dir == direction::c2r) {
+      const auto hook = [&ks, nregs](chunk* rows, std::uint64_t k) {
+        kernels::tile_pass<T>(ks, reinterpret_cast<T*>(rows), nregs, k,
+                              /*forward=*/true);
+      };
+      c2r_skinny(c, mm_, ws_, &memo_, &ks, plan.streaming_stores, prog, hook);
+    } else {
+      const auto hook = [&ks, nregs](chunk* rows, std::uint64_t k) {
+        kernels::tile_pass<T>(ks, reinterpret_cast<T*>(rows), nregs, k,
+                              /*forward=*/false);
+      };
+      r2c_skinny(c, mm_, ws_, &memo_, &ks, plan.streaming_stores, prog, hook);
+    }
+  }
+
+  void rollback(T* data, const transpose_plan& plan,
+                const stage_progress& prog) noexcept override {
+    if (!prog.dirty() || !prog.at_boundary()) {
+      return;
+    }
+    chunk* c = reinterpret_cast<chunk*>(data);
+    const bool fwd_c2r = plan.dir == direction::c2r;
+    // Portable hooks: rollback must not depend on the tier that planned
+    // the run (the ISA dispatch could differ after a partial failure).
+    const auto fwd_hook = [nregs = plan.n](chunk* rows, std::uint64_t k) {
+      kernels::tile_pass_portable(reinterpret_cast<T*>(rows), nregs, W, k,
+                                  /*forward=*/true);
+    };
+    const auto inv_hook = [nregs = plan.n](chunk* rows, std::uint64_t k) {
+      kernels::tile_pass_portable(reinterpret_cast<T*>(rows), nregs, W, k,
+                                  /*forward=*/false);
+    };
+    try {
+      for (std::size_t k = prog.completed; k-- > 0;) {
+        switch (prog.done[k]) {
+          case stage_id::skinny_fused_row:
+            // The fused row pass computed (scatter ∘ tile) or
+            // (tile⁻¹ ∘ gather); the mirror pass with the opposite hook
+            // is its exact inverse (see skinny_fused_gather's contract).
+            if (fwd_c2r) {
+              skinny_fused_gather(c, mm_, ws_, nullptr, false, inv_hook);
+            } else {
+              skinny_fused_scatter(c, mm_, ws_, nullptr, false, fwd_hook);
+            }
+            break;
+          case stage_id::skinny_rotation:
+            if (fwd_c2r) {
+              skinny_rotate_p_inv(c, mm_, ws_, nullptr, false);
+            } else {
+              skinny_rotate_p(c, mm_, ws_, nullptr, false);
+            }
+            break;
+          case stage_id::skinny_permute:
+            if (fwd_c2r) {
+              skinny_permute_q_inv(c, mm_, ws_, nullptr, nullptr, false);
+            } else {
+              skinny_permute_q(c, mm_, ws_, nullptr, nullptr, false);
+            }
+            break;
+          default:
+            break;  // non-skinny stages cannot appear in a tile run
+        }
+      }
+    } catch (...) {
+      // Swallowed, same policy as rollback_stages: the original exception
+      // is the one the caller must see.
+    }
+  }
+
+  [[nodiscard]] std::size_t cached_bytes() const override {
+    std::size_t total =
+        (ws_.line.size() + ws_.head.size() + ws_.subrow.size()) *
+        sizeof(chunk);
+    total += ws_.visited.size();
+    total += (ws_.cycle_starts.capacity() + ws_.offsets.size() +
+              ws_.index.size() + memo_.starts.capacity()) *
+             sizeof(std::uint64_t);
+    return total;
+  }
+
+ private:
+  transpose_math<fast_divmod> mm_;  ///< chunk-grid math: (m / W) x n
+  workspace<chunk> ws_;
+  cycle_memo memo_;
+};
+
+/// Builds the tile runner for a tile plan, dispatching plan.tile_block to
+/// the compile-time chunk width.  Returns null when T cannot take the
+/// tile path (wrong size or not trivially copyable — possible only for a
+/// plan built with a mismatched elem_size) or the width is unknown; the
+/// caller demotes to the scratch-line path.  Propagates std::bad_alloc
+/// from the chunk workspace.
+template <typename T>
+std::unique_ptr<tile_runner_base<T>> make_tile_runner(
+    const transpose_plan& plan) {
+  if constexpr (std::is_trivially_copyable_v<T> &&
+                (sizeof(T) == 4 || sizeof(T) == 8)) {
+    // inplace-lint: allow-block(raw-alloc): acquisition-funnel extension —
+    // acquire_scratch's tile rung allocates the chunk workspace through
+    // here, once per plan, inside the same bad_alloc demotion ladder as
+    // the element workspaces
+    switch (plan.tile_block) {
+      case 2:
+        return std::make_unique<tile_runner<T, 2>>(plan);
+      case 4:
+        return std::make_unique<tile_runner<T, 4>>(plan);
+      case 8:
+        return std::make_unique<tile_runner<T, 8>>(plan);
+      case 16:
+        return std::make_unique<tile_runner<T, 16>>(plan);
+      default:
+        return nullptr;
+    }
+    // inplace-lint: end-block
+  } else {
+    return nullptr;
+  }
+}
+
+/// Runs a tile plan with the same stage-boundary rollback contract as
+/// run_with_math.
+template <typename T>
+void run_tile(T* data, const transpose_plan& plan,
+              tile_runner_base<T>& runner) {
+  stage_progress prog;
+  try {
+    runner.run(data, plan, &prog);
+  } catch (...) {
+    runner.rollback(data, plan, prog);
+    throw;
+  }
+}
+
+/// The scratch an execution owns: at most one of the three members is
+/// engaged (pool for the blocked engine, ws for reference/skinny, tile
+/// for in-register tile plans); all stay empty on the cycle_follow rung
+/// and for degenerate shapes.
 template <typename T>
 struct scratch_bundle {
   std::optional<workspace<T>> ws;
   std::optional<workspace_pool<T>> pool;
+  std::unique_ptr<tile_runner_base<T>> tile;
 };
 
 /// Acquires engine scratch for `plan`, walking the OOM degradation
@@ -102,6 +290,23 @@ scratch_bundle<T> acquire_scratch(transpose_plan& plan) {
   scratch_bundle<T> bundle;
   if (plan.m <= 1 || plan.n <= 1) {
     return bundle;
+  }
+  if (plan.tile_block != 0) {
+    // Tile rung: the chunk workspace replaces (not supplements) the
+    // element workspace.  If it cannot be allocated, clear tile_block and
+    // fall through to the ordinary ladder — the scratch-line skinny path
+    // is the documented demotion target.
+    try {
+      INPLACE_FAILPOINT("exec.alloc.full");
+      bundle.tile = make_tile_runner<T>(plan);
+    } catch (const std::bad_alloc&) {
+      bundle.tile.reset();
+    }
+    if (bundle.tile != nullptr) {
+      plan.rung = scratch_rung::full;
+      return bundle;
+    }
+    plan.tile_block = 0;
   }
   try {
     INPLACE_FAILPOINT("exec.alloc.full");
@@ -343,6 +548,10 @@ void execute_plan(T* data, const transpose_plan& plan_in) {
                              : plan.scratch_elements() * sizeof(T));
   if (plan.rung == scratch_rung::cycle_follow) {
     run_cycle_follow(data, plan);
+    return;
+  }
+  if (scratch.tile != nullptr) {
+    run_tile(data, plan, *scratch.tile);
     return;
   }
   if (plan.strength_reduction) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <optional>
 
 #include "core/contracts.hpp"
@@ -47,6 +48,7 @@ class transposer {
       detail::scratch_bundle<T> scratch = detail::acquire_scratch<T>(plan_);
       ws_ = std::move(scratch.ws);
       pool_ = std::move(scratch.pool);
+      tile_ = std::move(scratch.tile);
     }
   }
 
@@ -86,6 +88,17 @@ class transposer {
       detail::run_cycle_follow(data, plan_);
       return;
     }
+    if (tile_ != nullptr) {
+      // Tile plans carry their own chunk-grid math and workspace inside
+      // the runner; the element-level math members stay unused.
+      INPLACE_REQUIRE(data != nullptr, "transposer invoked with null data");
+      detail::note_plan_record<T>(plan_, from_cache);
+      INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
+                             2 * plan_.m * plan_.n * sizeof(T),
+                             plan_.scratch_elements() * sizeof(T));
+      detail::run_tile(data, plan_, *tile_);
+      return;
+    }
     if (fast_math_) {
       run(data, *fast_math_, from_cache);
     } else {
@@ -104,6 +117,9 @@ class transposer {
     std::size_t total = ws_ ? per_ws : 0;
     if (pool_) {
       total = per_ws * std::max<std::size_t>(1, pool_->size());
+    }
+    if (tile_) {
+      total += tile_->cached_bytes();
     }
     total += memo_.starts.capacity() * sizeof(std::uint64_t);
     for (const auto& g : col_memo_.groups) {
@@ -185,6 +201,7 @@ class transposer {
   std::optional<transpose_math<plain_divmod>> plain_math_;
   std::optional<detail::workspace<T>> ws_;
   std::optional<detail::workspace_pool<T>> pool_;
+  std::unique_ptr<detail::tile_runner_base<T>> tile_;
   detail::cycle_memo memo_;          ///< skinny row-permutation cycles
   detail::col_cycle_memo col_memo_;  ///< blocked column-shuffle cycles
 };

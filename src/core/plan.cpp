@@ -9,6 +9,15 @@
 namespace inplace {
 
 std::uint64_t transpose_plan::scratch_elements() const {
+  if (tile_block != 0) {
+    // Tile plans run the skinny engine over (m / W) x n chunks of W
+    // elements: a line of max(m/W, n) chunks, an n^2-chunk head buffer
+    // and an n-chunk sub-row, all W elements wide.  Still >= max(m, n)
+    // (the line alone covers m), so Theorem 6's bound holds.
+    const std::uint64_t chunk_rows = m / tile_block;
+    const std::uint64_t line = std::max(chunk_rows, n);
+    return (line + n * n + n) * tile_block;
+  }
   const std::uint64_t line = std::max(m, n);
   return line + block_width * block_width + block_width;
 }
@@ -56,6 +65,32 @@ transpose_plan make_directed_plan(const void* data, std::size_t m,
   plan.streaming_stores = kernels::streaming_profitable(
       static_cast<std::size_t>(plan.m) * plan.n * elem_size, plan.ktier);
 
+  // In-register tile gate.  Correctness part: skinny engine with
+  // strength reduction (the chunked run reuses the fused skinny passes
+  // and their fast_divmod math), a 4/8-byte element whose lane width the
+  // tier implements and divides m, and n within both [2, max_regs] (one
+  // register per matrix column).  Profitability part: the chunked
+  // problem must stay tall (m/W > n) so the fused passes keep their
+  // streaming shape — dropped under INPLACE_FORCE_KERNEL_TIER=inreg so
+  // tests can force the path onto any eligible small shape.
+  plan.tile_block = 0;
+  if (plan.engine == engine_kind::skinny && plan.strength_reduction &&
+      opts.tile != options::tile_mode::off &&
+      (elem_size == 4 || elem_size == 8)) {
+    const kernels::kernel_set& ks = kernels::set_for(plan.ktier);
+    const std::uint64_t lanes =
+        elem_size == 4 ? ks.tile_lanes_u32 : ks.tile_lanes_u64;
+    const std::uint64_t max_regs =
+        elem_size == 4 ? ks.tile_max_regs_u32 : ks.tile_max_regs_u64;
+    if (lanes >= 2 && plan.n >= 2 && plan.n <= max_regs &&
+        plan.m % lanes == 0) {
+      const std::uint64_t chunk_rows = plan.m / lanes;
+      if (chunk_rows > plan.n || kernels::forced_tile_mode()) {
+        plan.tile_block = lanes;
+      }
+    }
+  }
+
   // Plan postconditions: the planner must resolve `automatic` to a
   // concrete engine (the executors refuse unresolved plans), must never
   // hand an engine a shape it cannot run, and the scratch sizing must
@@ -74,6 +109,11 @@ transpose_plan make_directed_plan(const void* data, std::size_t m,
                  "sub-row width below the cache-aware minimum");
   INPLACE_ENSURE(plan.scratch_elements() >= std::max(plan.m, plan.n),
                  "scratch sizing violates Theorem 6's max(m, n) bound");
+  INPLACE_ENSURE(plan.tile_block == 0 ||
+                     (plan.engine == engine_kind::skinny &&
+                      plan.tile_block >= 2 && plan.n >= 2 &&
+                      plan.m % plan.tile_block == 0),
+                 "in-register tile selected outside its gate");
   return plan;
 }
 

@@ -91,6 +91,18 @@ struct options {
   /// ablation baseline; the INPLACE_FORCE_KERNEL_TIER environment
   /// variable overrides whatever is set here at plan time.
   kernels::tier kernel = kernels::tier::automatic;
+
+  /// In-register tile-transpose path (the Section 6.2 ladders realized
+  /// as SIMD kernels).  `automatic` engages it when the plan-time gate
+  /// holds: skinny engine, strength reduction on, 4/8-byte elements, the
+  /// tier implements tile passes, the lane width divides m, n fits the
+  /// register budget and the chunked problem stays tall.  `off` disables
+  /// it unconditionally — the scratch-line ablation foil
+  /// (bench/ablation_kernels).  INPLACE_FORCE_KERNEL_TIER=inreg (or
+  /// <tier>-inreg) forces the path onto any shape that passes the
+  /// correctness part of the gate.
+  enum class tile_mode : std::uint8_t { automatic, off };
+  tile_mode tile = tile_mode::automatic;
 };
 
 /// A resolved execution plan.
@@ -117,6 +129,17 @@ struct transpose_plan {
   /// Planning emits `full`; the executor demotes (and rewrites threads /
   /// block_width to match) only when allocation fails.
   scratch_rung rung = scratch_rung::full;
+
+  /// Vector lane count W of the in-register tile pass fused into the
+  /// skinny engine; 0 = scratch-line path.  When set, the engine runs
+  /// the chunked factorization: the C2R of m x n becomes the forward
+  /// tile pass (static_r2c<n, W>) on every W x n slab followed by the
+  /// skinny C2R of the (m/W) x n matrix of W-element chunks (R2C is the
+  /// mirror with the inverse pass last), with the tile pass fused into
+  /// the skinny engine's streaming row passes so no extra DRAM sweep is
+  /// paid.  The executor clears it (falling back to the scratch-line
+  /// path) only when the chunk workspace cannot be allocated.
+  std::uint64_t tile_block = 0;
 
   /// Scratch elements the engines may allocate; Theorem 6's bound of
   /// max(m, n) plus the constant-size cache-aware buffers.

@@ -22,7 +22,8 @@ bool same_plan(const plan_record& a, const plan_record& b) {
          a.threads_requested == b.threads_requested &&
          a.threads_active == b.threads_active &&
          a.threads_honored == b.threads_honored &&
-         a.from_cache == b.from_cache && std::strcmp(a.rung, b.rung) == 0;
+         a.from_cache == b.from_cache && std::strcmp(a.rung, b.rung) == 0 &&
+         std::strcmp(a.calibration, b.calibration) == 0;
 }
 
 }  // namespace

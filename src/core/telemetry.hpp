@@ -91,6 +91,10 @@ struct plan_record {
   /// memory pressure — degraded runs dedup separately so a pressure
   /// episode is visible in bench JSON.
   const char* rung = "";
+  /// Provenance of the tensor cost model's calibration constants
+  /// ("probed" when the startup micro-probe supplied them, "static" for
+  /// the compiled-in defaults); "" for the 2-D paths, which have none.
+  const char* calibration = "";
 };
 
 /// Receiver for telemetry events.  Implementations must tolerate calls

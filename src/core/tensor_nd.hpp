@@ -198,9 +198,19 @@ void run_chunk_grid_inplace(T* base, std::uint64_t rows, std::uint64_t cols,
 /// One chunk-grid pass through whichever rung the scratch funnel landed
 /// on: transposes a rows x cols grid of contiguous chunk-element blocks
 /// in place (block (i, j) moves to slot j*rows + i).
+///
+/// With a kernel set, chunk moves of trivially copyable elements go
+/// through the plan's tier (the same copy/stream_subrow pair the 2-D
+/// cycle follower uses); `stream` selects unfenced non-temporal stores
+/// for the grid destinations — each slot is written once and never
+/// re-read within the pass (gather cycle order), so its lines are dead —
+/// with one fence() published at the end.  The tmp save/restore stays
+/// temporal: tmp is cache-hot scratch re-read at every cycle close.
 template <typename T>
 void run_chunk_pass(T* base, std::uint64_t rows, std::uint64_t cols,
-                    std::uint64_t chunk, chunk_scratch<T>& s) {
+                    std::uint64_t chunk, chunk_scratch<T>& s,
+                    const kernels::kernel_set* ks = nullptr,
+                    bool stream = false) {
   INPLACE_REQUIRE(base != nullptr, "chunk pass invoked with null data");
   if (rows <= 1 || cols <= 1 || chunk == 0) {
     return;
@@ -209,6 +219,26 @@ void run_chunk_pass(T* base, std::uint64_t rows, std::uint64_t cols,
     run_chunk_grid_inplace(base, rows, cols, chunk);
     return;
   }
+  constexpr bool use_kernels = std::is_trivially_copyable_v<T>;
+  const std::size_t chunk_bytes = static_cast<std::size_t>(chunk) * sizeof(T);
+  const auto move = [&](T* dst, const T* src) {
+    if constexpr (use_kernels) {
+      if (ks != nullptr) {
+        (stream ? ks->stream_subrow : ks->copy)(dst, src, chunk_bytes);
+        return;
+      }
+    }
+    std::copy(src, src + chunk, dst);
+  };
+  const auto save = [&](T* dst, const T* src) {
+    if constexpr (use_kernels) {
+      if (ks != nullptr) {
+        ks->copy(dst, src, chunk_bytes);
+        return;
+      }
+    }
+    std::copy(src, src + chunk, dst);
+  };
   const std::uint64_t slots = rows * cols;
   const bool packed = s.rung == scratch_rung::reduced;
   std::fill(s.bits.begin(), s.bits.end(), std::uint8_t{0});
@@ -233,20 +263,24 @@ void run_chunk_pass(T* base, std::uint64_t rows, std::uint64_t cols,
     if (first_src == y) {
       continue;
     }
-    std::copy(base + y * chunk, base + (y + 1) * chunk, s.tmp.begin());
+    save(s.tmp.data(), base + y * chunk);
     std::uint64_t w = y;
     for (;;) {
       const std::uint64_t src = (w % rows) * cols + w / rows;
       mark(w);
       if (src == y) {
-        std::copy(s.tmp.begin(), s.tmp.begin() + static_cast<std::ptrdiff_t>(
-                                                     chunk),
-                  base + w * chunk);
+        move(base + w * chunk, s.tmp.data());
         break;
       }
-      std::copy(base + src * chunk, base + (src + 1) * chunk,
-                base + w * chunk);
+      kernels::prefetch_read(base + ((src % rows) * cols + src / rows) *
+                                        chunk);
+      move(base + w * chunk, base + src * chunk);
       w = src;
+    }
+  }
+  if constexpr (use_kernels) {
+    if (ks != nullptr && stream) {
+      ks->fence();
     }
   }
 }
@@ -314,7 +348,9 @@ inline void note_tensor_record([[maybe_unused]] std::uint64_t total,
                                [[maybe_unused]] std::size_t passes,
                                [[maybe_unused]] bool from_cache,
                                [[maybe_unused]] scratch_rung rung,
-                               [[maybe_unused]] const char* path) {
+                               [[maybe_unused]] const char* path,
+                               [[maybe_unused]] const char* kernel_tier = "",
+                               [[maybe_unused]] const char* calibration = "") {
 #if INPLACE_TELEMETRY_ENABLED
   if (telemetry::current_sink() != nullptr) {
     const util::thread_probe probe = util::probe_thread_count(0);
@@ -326,12 +362,13 @@ inline void note_tensor_record([[maybe_unused]] std::uint64_t total,
     rec.block_width = rank;
     rec.elem_size = sizeof(T);
     rec.strength_reduction = true;
-    rec.kernel_tier = "";
+    rec.kernel_tier = kernel_tier;
     rec.threads_requested = probe.requested;
     rec.threads_active = probe.active;
     rec.threads_honored = probe.honored;
     rec.from_cache = from_cache;
     rec.rung = rung_name(rung);
+    rec.calibration = calibration;
     INPLACE_TELEMETRY_PLAN(rec);
   }
 #endif
@@ -351,7 +388,8 @@ template <typename T>
 class nd_transposer {
  public:
   explicit nd_transposer(detail::tensor_plan plan, const options& opts = {})
-      : plan_(std::move(plan)) {
+      : plan_(std::move(plan)),
+        ktier_(kernels::resolve_tier(opts.kernel)) {
     // inplace-lint: allow-next(raw-alloc): cold-path arena construction,
     // sized once at plan adoption (mirrors the transposer<T> constructor)
     passes_.reserve(plan_.passes.size());
@@ -367,6 +405,13 @@ class nd_transposer {
         ps.scratch =
             detail::acquire_chunk_scratch<T>(p.rows * p.cols, p.chunk);
         worst_rung_ = std::max(worst_rung_, ps.scratch.rung);
+        // Same matrix-scale NT policy as 2-D planning: each chunk pass
+        // sweeps the whole tensor once, so the pass working set is the
+        // tensor itself.
+        ps.stream = kernels::streaming_profitable(
+            static_cast<std::size_t>(p.rows * p.cols * p.chunk * p.batch) *
+                sizeof(T),
+            ktier_);
       }
       // inplace-lint: allow-next(raw-alloc): cold-path arena construction
       // (see the reserve above)
@@ -390,7 +435,9 @@ class nd_transposer {
   void execute(T* data, bool from_cache) {
     detail::note_tensor_record<T>(plan_.norm.total, plan_.norm.rank,
                                   passes_.size(), from_cache, worst_rung_,
-                                  passes_.empty() ? "identity" : "nd");
+                                  passes_.empty() ? "identity" : "nd",
+                                  kernels::tier_name(ktier_),
+                                  plan_.calibration);
     INPLACE_TELEMETRY_SPAN(span_total, telemetry::stage::total,
                            2 * plan_.norm.total * sizeof(T), cached_bytes());
     std::size_t done = 0;
@@ -423,6 +470,7 @@ class nd_transposer {
     detail::nd_pass pass;
     std::optional<transposer<T>> tr;  ///< chunk == 1 passes
     detail::chunk_scratch<T> scratch;  ///< chunk > 1 passes
+    bool stream = false;  ///< chunk-pass NT-store decision (plan-time)
   };
 
   void run_pass(T* data, pass_state& ps, bool from_cache) {
@@ -448,14 +496,16 @@ class nd_transposer {
     } else {
       // The chunk loop allocates nothing and runs no engine — once the
       // pass starts it completes (faults inject at the pass boundary).
+      const kernels::kernel_set& ks = kernels::set_for(ktier_);
       for (std::uint64_t k = 0; k < p.batch; ++k) {
         detail::run_chunk_pass(data + k * slab, p.rows, p.cols, p.chunk,
-                               ps.scratch);
+                               ps.scratch, &ks, ps.stream);
       }
     }
   }
 
   detail::tensor_plan plan_;
+  kernels::tier ktier_ = kernels::tier::scalar;
   std::vector<pass_state> passes_;
   scratch_rung worst_rung_ = scratch_rung::full;
 };

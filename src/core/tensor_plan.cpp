@@ -1,16 +1,143 @@
 #include "core/tensor_plan.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <new>
 #include <queue>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/failpoint.hpp"
 #include "memsim/device_model.hpp"
 
 namespace inplace::detail {
+
+namespace {
+
+/// Keeps the probe buffers (and the loops writing them) alive past the
+/// optimizer: the asm consumes the pointer and claims to clobber memory,
+/// so stores before it cannot be elided and loads after it cannot be
+/// hoisted.  No-op fallback elsewhere — the probe then merely risks DCE
+/// and the clamp below still bounds the damage.
+inline void probe_barrier([[maybe_unused]] const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" ::"r"(p) : "memory");
+#endif
+}
+
+/// L1 data-cache line size from sysconf, or 0 when unavailable.  The
+/// [8, 256] clamp in calibrate() rejects the 0 and any exotic value a
+/// container might report.
+double probe_line_bytes() {
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+  const long ls = ::sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  return ls > 0 ? static_cast<double>(ls) : 0.0;
+#else
+  return 0.0;
+#endif
+}
+
+/// Times one streaming copy sweep and one strided per-row rotate-gather
+/// sweep (the engines' dominant access pattern) over a ~128 KiB slab and
+/// returns the strided/streaming ratio, or 0 on failure.  Deliberately
+/// raw loops: this TU compiles without INPLACE_TELEMETRY, so routing the
+/// probe through transposer<T> would instantiate telemetry-off inline
+/// definitions that collide (ODR) with the telemetry-on bench TUs.
+double probe_sweep_ratio() {
+  constexpr std::size_t rows = 4096;
+  constexpr std::size_t cols = 8;
+  constexpr std::size_t total = rows * cols;
+  constexpr int reps = 4;
+  std::vector<float> src(total);
+  std::vector<float> dst(total);
+  for (std::size_t k = 0; k < total; ++k) {
+    src[k] = static_cast<float>(k & 0xffffU);
+  }
+  using clock = std::chrono::steady_clock;
+  double best_stream = std::numeric_limits<double>::infinity();
+  double best_strided = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = clock::now();
+    std::memcpy(dst.data(), src.data(), total * sizeof(float));
+    probe_barrier(dst.data());
+    const auto t1 = clock::now();
+    // Column-major walk with a per-column row rotation: every element
+    // moves, no two consecutive accesses share a row — the shape of the
+    // skinny engine's rotation pass, minus its cache-aware grouping.
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        dst[r * cols + c] = src[((r + c) % rows) * cols + c];
+      }
+    }
+    probe_barrier(dst.data());
+    const auto t2 = clock::now();
+    const std::chrono::duration<double> stream = t1 - t0;
+    const std::chrono::duration<double> strided = t2 - t1;
+    best_stream = std::min(best_stream, stream.count());
+    best_strided = std::min(best_strided, strided.count());
+  }
+  if (!(best_stream > 0.0) || !std::isfinite(best_strided)) {
+    return 0.0;  // clock too coarse or probe elided: fall back to static
+  }
+  return best_strided / best_stream;
+}
+
+/// Runs both probes with the static defaults as the starting point.
+/// Never throws; each probe degrades independently.
+tensor_calibration_values calibrate() {
+  tensor_calibration_values cal;  // static defaults
+  // inplace-lint: allow-next(env-access): documented opt-out knob
+  // (INPLACE_TENSOR_CALIBRATION=static, README); exact string equality
+  // against one literal — nothing to parse, no funnel value validation
+  // applies, and any other value deliberately falls through to the probe
+  if (const char* env = std::getenv("INPLACE_TENSOR_CALIBRATION");
+      env != nullptr && std::strcmp(env, "static") == 0) {
+    return cal;
+  }
+  bool probed = false;
+  const double line = probe_line_bytes();
+  if (line >= 8.0 && line <= 256.0) {
+    cal.line_bytes = line;
+    probed = true;
+  }
+  try {
+    const double ratio = probe_sweep_ratio();
+    if (ratio > 0.0) {
+      // The probe's naive scalar rotation over-costs one fused engine
+      // pass by roughly the engine's pass count, so the raw ratio stands
+      // in for the whole multi-pass factor (it lands on ~7, the old
+      // hand-calibrated constant, on the reference machine).  The clamp
+      // keeps a noisy machine (or a TSan/valgrind run) from steering the
+      // search off a cliff.
+      cal.engine_sweeps = std::clamp(ratio, 2.0, 20.0);
+      probed = true;
+    }
+  } catch (const std::bad_alloc&) {
+    // Keep the static engine_sweeps; line_bytes may still be probed.
+  }
+  if (probed) {
+    cal.provenance = "probed";
+  }
+  return cal;
+}
+
+}  // namespace
+
+const tensor_calibration_values& tensor_calibration() {
+  // Magic static: one probe per process, first planner pays it.
+  static const tensor_calibration_values cal = calibrate();
+  return cal;
+}
 
 void validate_nd_perm(std::span<const std::size_t> dims,
                       std::span<const int> perm) {
@@ -133,8 +260,8 @@ std::uint32_t pack_order(const axis_order& s, std::size_t r) {
 
 /// Cost model for one adjacent-group-swap pass, memoized per shape.  The
 /// memsim roofline heuristic scores a single streaming sweep; the two
-/// execution paths depart from that in opposite directions, calibrated
-/// against measured per-pass times on the CPU reference machine:
+/// execution paths depart from that in opposite directions, scaled by
+/// the tensor_calibration() constants (startup-probed, static fallback):
 ///
 ///   * a chunk == 1 pass routes through the planned in-place engines,
 ///     whose c2r/r2c decomposition makes several rotate/shuffle sweeps
@@ -144,7 +271,8 @@ std::uint32_t pack_order(const axis_order& s, std::size_t r) {
 ///     as sub-line chunks waste line bandwidth.
 class pass_cost_model {
  public:
-  explicit pass_cost_model(std::size_t elem_size) : elem_(elem_size) {}
+  explicit pass_cost_model(std::size_t elem_size)
+      : elem_(elem_size), cal_(tensor_calibration()) {}
 
   double cost(const nd_pass& p) {
     const std::uint64_t key =
@@ -161,9 +289,9 @@ class pass_cost_model {
       if (p.chunk > 1) {
         const double chunk_bytes =
             static_cast<double>(elem_) * static_cast<double>(p.chunk);
-        per_slab *= 1.0 + kLineBytes / chunk_bytes;
+        per_slab *= 1.0 + cal_.line_bytes / chunk_bytes;
       } else {
-        per_slab *= kEngineSweeps;
+        per_slab *= cal_.engine_sweeps;
       }
       memo_.emplace(key, per_slab);
     }
@@ -171,9 +299,8 @@ class pass_cost_model {
   }
 
  private:
-  static constexpr double kEngineSweeps = 7.0;
-  static constexpr double kLineBytes = 64.0;
   std::size_t elem_;
+  tensor_calibration_values cal_;
   std::unordered_map<std::uint64_t, double> memo_;
 };
 
@@ -376,17 +503,21 @@ tensor_plan make_tensor_plan(const nd_normalized& norm, std::size_t elem_size,
   // inside the search).  Fires before any state exists, so an injected
   // fault propagates with the caller's buffer untouched.
   INPLACE_FAILPOINT("tensor.plan.search");
+  const char* cal = tensor_calibration().provenance;
   tensor_plan plan;
   plan.norm = norm;
+  plan.calibration = cal;
   if (norm.rank <= 1) {
     return plan;  // identity on memory: nothing to run
   }
   tensor_plan best = search_best(norm, elem_size);
+  best.calibration = cal;
   if (goal == tensor_goal::best || norm.rank > 4) {
     return best;
   }
   tensor_plan worst =
       search_worst(norm, elem_size, std::min<std::size_t>(best.passes.size() + 1, 4));
+  worst.calibration = cal;
   return worst.model_seconds >= 0.0 ? worst : best;
 }
 

@@ -95,12 +95,39 @@ enum class tensor_goal : std::uint8_t {
   worst,  ///< maximum-cost sequence within a pass budget (ablation foil)
 };
 
+/// The pass cost model's two machine-dependent constants.  The defaults
+/// are the hand-calibrated values from the CPU reference machine; on
+/// first use make_tensor_plan replaces them with a startup micro-probe
+/// (tensor_calibration below) unless the probe fails or the caller opts
+/// out with INPLACE_TENSOR_CALIBRATION=static.
+struct tensor_calibration_values {
+  /// Strided-sweep multiplier for chunk == 1 passes: how many effective
+  /// streaming sweeps one planned in-place engine pass costs.
+  double engine_sweeps = 7.0;
+  /// Cache-line size charged to sub-line chunk gathers in chunk > 1
+  /// passes.
+  double line_bytes = 64.0;
+  /// "probed" when at least one probe supplied a value, else "static".
+  /// Always a string literal — safe to store in telemetry records.
+  const char* provenance = "static";
+};
+
+/// Process-wide calibration, probed once on first call (a few hundred
+/// microseconds) and cached.  Never throws: any probe failure — OOM,
+/// sysconf unavailable, degenerate timings — falls back to the static
+/// defaults with provenance "static".
+[[nodiscard]] const tensor_calibration_values& tensor_calibration();
+
 /// A resolved rank-N permutation plan: the normalized problem and the
 /// ordered pass list.  An empty pass list means identity (nothing runs).
 struct tensor_plan {
   nd_normalized norm;
   std::vector<nd_pass> passes;
   double model_seconds = 0.0;  ///< memsim score of the chosen sequence
+  /// tensor_calibration().provenance at plan time, carried into the
+  /// telemetry plan record so bench JSON shows which cost-model constants
+  /// scored the pass search.
+  const char* calibration = "static";
 };
 
 /// Builds the pass sequence for an already-normalized permutation.

@@ -117,6 +117,52 @@ std::optional<tier> parse_tier(const char* s) {
   return std::nullopt;
 }
 
+/// Parsed INPLACE_FORCE_KERNEL_TIER value: the tier part plus whether
+/// the in-register tile path is forced ("inreg" alone = native tier +
+/// tile; "<tier>-inreg" pins both).
+struct forced_mode {
+  std::optional<tier> t;
+  bool tile = false;
+};
+
+forced_mode parse_forced_mode(const char* s) {
+  forced_mode fm;
+  if (std::strcmp(s, "inreg") == 0) {
+    fm.t = tier::automatic;
+    fm.tile = true;
+    return fm;
+  }
+  const std::size_t len = std::strlen(s);
+  constexpr std::size_t suffix_len = 6;  // "-inreg"
+  if (len > suffix_len &&
+      std::strcmp(s + (len - suffix_len), "-inreg") == 0) {
+    char base[16];
+    if (len - suffix_len < sizeof(base)) {
+      std::memcpy(base, s, len - suffix_len);
+      base[len - suffix_len] = '\0';
+      if (const auto t = parse_tier(base)) {
+        fm.t = t;
+        fm.tile = true;
+      }
+    }
+    return fm;
+  }
+  fm.t = parse_tier(s);
+  return fm;
+}
+
+void warn_unknown_force_env(const char* env) {
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "inplace: ignoring unknown INPLACE_FORCE_KERNEL_TIER="
+                 "'%s' (want scalar|avx2|avx512|neon|native, optionally "
+                 "with an -inreg suffix, or bare inreg)\n",
+                 env);
+  }
+}
+
 std::size_t probe_cache_level(int level, std::size_t fallback) {
 #if defined(_SC_LEVEL1_DCACHE_SIZE) && defined(_SC_LEVEL2_CACHE_SIZE) && \
     defined(_SC_LEVEL3_CACHE_SIZE)
@@ -159,17 +205,11 @@ tier resolve_tier(tier requested) {
   // override between plans, and plans are made rarely.
   if (const char* env = std::getenv("INPLACE_FORCE_KERNEL_TIER")) {
     if (*env != '\0') {
-      if (const auto forced = parse_tier(env)) {
-        requested = *forced;
+      const forced_mode fm = parse_forced_mode(env);
+      if (fm.t.has_value()) {
+        requested = *fm.t;
       } else {
-        static bool warned = false;
-        if (!warned) {
-          warned = true;
-          std::fprintf(stderr,
-                       "inplace: ignoring unknown INPLACE_FORCE_KERNEL_TIER="
-                       "'%s' (want scalar|avx2|avx512|neon|native)\n",
-                       env);
-        }
+        warn_unknown_force_env(env);
       }
     }
   }
@@ -180,6 +220,21 @@ tier resolve_tier(tier requested) {
     requested = degrade(requested);
   }
   return requested;
+}
+
+bool forced_tile_mode() {
+  // Same per-call env read as resolve_tier: the two are always queried
+  // together at plan time and must see a consistent snapshot.
+  if (const char* env = std::getenv("INPLACE_FORCE_KERNEL_TIER")) {
+    if (*env != '\0') {
+      const forced_mode fm = parse_forced_mode(env);
+      if (!fm.t.has_value()) {
+        warn_unknown_force_env(env);
+      }
+      return fm.tile;
+    }
+  }
+  return false;
 }
 
 const kernel_set& set_for(tier t) {

@@ -89,6 +89,26 @@ struct kernel_set {
   void (*gather_index_u64)(u64lane* dst, const u64lane* src,
                            const std::uint64_t* offs, std::size_t count,
                            bool stream_dst);
+
+  /// In-register tile transpose (the Section 6.2 ladder, generated from
+  /// src/simd/static_transpose.hpp's schedules): applies
+  /// static_r2c<nregs, tile_lanes> (forward) or its inverse
+  /// static_c2r (inverse) in place to each of nblocks contiguous blocks
+  /// of nregs * tile_lanes lanes.  Null on tiers without an in-register
+  /// implementation (scalar, stub builds); plan-time gating checks
+  /// tile_lanes/tile_max_regs before selecting the tile path.
+  /// Preconditions: 2 <= nregs <= tile_max_regs for the lane width.
+  void (*tile_pass_u32)(u32lane* data, std::size_t nregs,
+                        std::size_t nblocks, bool forward) = nullptr;
+  void (*tile_pass_u64)(u64lane* data, std::size_t nregs,
+                        std::size_t nblocks, bool forward) = nullptr;
+
+  /// Vector width (lanes per register) and register budget of the tile
+  /// passes above, per lane width; 0 when unimplemented.
+  std::uint16_t tile_lanes_u32 = 0;
+  std::uint16_t tile_lanes_u64 = 0;
+  std::uint16_t tile_max_regs_u32 = 0;
+  std::uint16_t tile_max_regs_u64 = 0;
 };
 
 /// Software prefetch hints for the irregular streams the hardware
@@ -115,13 +135,23 @@ inline constexpr int subrow_prefetch_hops = 1;
 
 /// Resolves a requested tier to a concrete available one:
 ///   1. the INPLACE_FORCE_KERNEL_TIER environment variable, when set to
-///      scalar|avx2|avx512|neon|native, overrides `requested` (unknown
-///      values are ignored with a one-time warning);
+///      scalar|avx2|avx512|neon|native|inreg or <tier>-inreg, overrides
+///      `requested` (unknown values are ignored with a one-time
+///      warning); bare "inreg" forces the native tier and the
+///      in-register tile path, "<tier>-inreg" pins both;
 ///   2. tier::automatic becomes native_tier();
 ///   3. an unavailable tier degrades down its family (avx512 -> avx2 ->
 ///      scalar, neon -> scalar).
 /// Never returns tier::automatic.
 [[nodiscard]] tier resolve_tier(tier requested);
+
+/// True when INPLACE_FORCE_KERNEL_TIER requests the in-register tile
+/// path ("inreg" or any "<tier>-inreg" form).  Forcing drops the
+/// plan-time profitability condition (tall-shape check) but never the
+/// correctness gates (divisibility, register budget): a forced-inreg
+/// plan on an ineligible shape simply runs without the tile path, same
+/// as forcing a tier the CPU lacks degrades.
+[[nodiscard]] bool forced_tile_mode();
 
 /// The kernel vtable for a concrete tier; unavailable tiers resolve to
 /// the nearest available one (so set_for(resolve_tier(t)) never faults).
@@ -211,6 +241,39 @@ inline void scatter_affine(const kernel_set& ks, T* dst, const T* src,
     ks.scatter_affine_u64(reinterpret_cast<u64lane*>(dst),
                           reinterpret_cast<const u64lane*>(src), count, start,
                           step, mod);
+  }
+}
+
+/// Lane width of the in-register tile pass for element type T (0 when
+/// the tier has none).
+template <typename T>
+inline std::uint16_t tile_lanes(const kernel_set& ks) {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                "tile lanes are 4 or 8 bytes");
+  return sizeof(T) == 4 ? ks.tile_lanes_u32 : ks.tile_lanes_u64;
+}
+
+/// Register budget of the in-register tile pass for element type T.
+template <typename T>
+inline std::uint16_t tile_max_regs(const kernel_set& ks) {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                "tile lanes are 4 or 8 bytes");
+  return sizeof(T) == 4 ? ks.tile_max_regs_u32 : ks.tile_max_regs_u64;
+}
+
+/// In-place tile pass over nblocks contiguous blocks of
+/// nregs * tile_lanes<T> elements.  Requires the tier to implement the
+/// pass (tile_lanes<T>(ks) != 0).
+template <typename T>
+inline void tile_pass(const kernel_set& ks, T* data, std::size_t nregs,
+                      std::size_t nblocks, bool forward) {
+  if constexpr (sizeof(T) == 4) {
+    ks.tile_pass_u32(reinterpret_cast<u32lane*>(data), nregs, nblocks,
+                     forward);
+  } else {
+    static_assert(sizeof(T) == 8, "tile lanes are 4 or 8 bytes");
+    ks.tile_pass_u64(reinterpret_cast<u64lane*>(data), nregs, nblocks,
+                     forward);
   }
 }
 

@@ -9,6 +9,7 @@
 // portable loops (still auto-vectorized under this TU's flags).
 
 #include "cpu/kernels/kernels_common.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 
 #if defined(INPLACE_KERNEL_COMPILE_AVX2)
 
@@ -242,6 +243,7 @@ const kernel_set* avx2_set() {
     s.gather_affine_u64 = &gather_affine_u64_avx2;
     s.gather_index_u32 = &gather_index_u32_avx2;
     s.gather_index_u64 = &gather_index_u64_avx2;
+    merge_tile_entry(s, tile_inreg_avx2());
     return s;
   }();
   return &ks;

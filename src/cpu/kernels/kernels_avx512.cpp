@@ -6,6 +6,7 @@
 // case the stub at the bottom reports the tier as not built.
 
 #include "cpu/kernels/kernels_common.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 
 #if defined(INPLACE_KERNEL_COMPILE_AVX512)
 
@@ -323,6 +324,7 @@ const kernel_set* avx512_set() {
     s.scatter_affine_u64 = &scatter_affine_u64_avx512;
     s.gather_index_u32 = &gather_index_u32_avx512;
     s.gather_index_u64 = &gather_index_u64_avx512;
+    merge_tile_entry(s, tile_inreg_avx512());
     return s;
   }();
   return &ks;

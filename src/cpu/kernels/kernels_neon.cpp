@@ -8,6 +8,7 @@
 // streaming slots stay temporal and fence stays a no-op.
 
 #include "cpu/kernels/kernels_common.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 
 #if defined(INPLACE_KERNEL_COMPILE_NEON)
 
@@ -62,6 +63,7 @@ const kernel_set* neon_set() {
         &gather_affine_neon<u64lane, affine_prefetch_dist_u64>;
     s.gather_index_u32 = &gather_index_neon<u32lane>;
     s.gather_index_u64 = &gather_index_neon<u64lane>;
+    merge_tile_entry(s, tile_inreg_neon());
     return s;
   }();
   return &ks;

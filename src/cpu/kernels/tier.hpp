@@ -38,4 +38,24 @@ enum class tier : std::uint8_t {
   return "unknown";
 }
 
+/// Display name of a tier running the in-register tile-transpose path
+/// on top of its vtable ("avx512+inreg"); plans whose tile_block is set
+/// record this combined tag so telemetry and BENCH JSON distinguish the
+/// tile tier from plain scratch-line kernels of the same ISA.
+[[nodiscard]] constexpr const char* tier_name_inreg(tier t) {
+  switch (t) {
+    case tier::automatic:
+      return "automatic+inreg";
+    case tier::scalar:
+      return "scalar+inreg";
+    case tier::avx2:
+      return "avx2+inreg";
+    case tier::avx512:
+      return "avx512+inreg";
+    case tier::neon:
+      return "neon+inreg";
+  }
+  return "unknown";
+}
+
 }  // namespace inplace::kernels

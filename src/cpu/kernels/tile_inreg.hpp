@@ -1,0 +1,98 @@
+#pragma once
+// In-register tile-transpose tier: declarations shared by the per-ISA
+// translation units (tile_inreg_{avx2,avx512,neon}.cpp), the kernel_set
+// factories that merge them, and the engines that consume whole register
+// tiles.
+//
+// A "tile" is nregs contiguous vector registers of `lanes` 4- or 8-byte
+// elements.  The forward pass applies simd::static_r2c<nregs, lanes> to
+// every block — in flat terms out[k] = in[(k % lanes) * nregs + k / lanes]
+// — and the inverse pass applies simd::static_c2r<nregs, lanes>
+// (out[k] = in[(k % nregs) * lanes + k / nregs]).  That is exactly the
+// within-slab factor of a W-divisible skinny transpose: for W | m, the
+// C2R permutation of an m x n matrix decomposes into the forward tile
+// pass on every W x n slab (n registers of W lanes, contiguous) followed
+// by the ordinary skinny C2R on the (m/W) x n matrix of W-element chunks;
+// R2C runs the chunk engine first and finishes with the inverse pass.
+// The per-ISA implementations realize the passes as the simulator-proved
+// <= ceil(log2 nregs)-select ladders of src/simd/static_transpose.hpp.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/kernels/kernel_set.hpp"
+
+namespace inplace::kernels {
+
+/// A W-element chunk of T that the chunked skinny engine moves as one
+/// unit; may alias the caller's element buffer (the tile engines
+/// reinterpret T* matrices as lane_chunk grids).
+template <typename T, unsigned W>
+struct __attribute__((may_alias)) lane_chunk {
+  T v[W];
+};
+
+/// One ISA's in-register tile entry points, merged into that tier's
+/// kernel_set by its factory.  lanes/max_regs are 0 and the function
+/// pointers null when the TU was compiled without its ISA (stub build)
+/// or the ISA has no in-register implementation.
+struct tile_entry {
+  void (*tile_pass_u32)(u32lane* data, std::size_t nregs,
+                        std::size_t nblocks, bool forward) = nullptr;
+  void (*tile_pass_u64)(u64lane* data, std::size_t nregs,
+                        std::size_t nblocks, bool forward) = nullptr;
+  std::uint16_t tile_lanes_u32 = 0;
+  std::uint16_t tile_lanes_u64 = 0;
+  std::uint16_t tile_max_regs_u32 = 0;
+  std::uint16_t tile_max_regs_u64 = 0;
+};
+
+/// Per-TU getters; return nullptr when the tier was not compiled in.
+[[nodiscard]] const tile_entry* tile_inreg_avx2();
+[[nodiscard]] const tile_entry* tile_inreg_avx512();
+[[nodiscard]] const tile_entry* tile_inreg_neon();
+
+/// Copies an ISA's tile entry points into its kernel_set (no-op for a
+/// stub TU).
+inline void merge_tile_entry(kernel_set& s, const tile_entry* te) {
+  if (te == nullptr) {
+    return;
+  }
+  s.tile_pass_u32 = te->tile_pass_u32;
+  s.tile_pass_u64 = te->tile_pass_u64;
+  s.tile_lanes_u32 = te->tile_lanes_u32;
+  s.tile_lanes_u64 = te->tile_lanes_u64;
+  s.tile_max_regs_u32 = te->tile_max_regs_u32;
+  s.tile_max_regs_u64 = te->tile_max_regs_u64;
+}
+
+/// Reference implementation of the tile passes with runtime extents:
+/// the rollback path (must not depend on which tier planned the run) and
+/// the ladder pin tests use it as the oracle.  Blocks are tiny
+/// (nregs * lanes <= 256 elements), so a stack buffer suffices.
+template <typename U>
+inline void tile_pass_portable(U* data, std::size_t nregs, std::size_t lanes,
+                               std::size_t nblocks, bool forward) {
+  U tmp[256];
+  const std::size_t total = nregs * lanes;
+  for (std::size_t blk = 0; blk < nblocks; ++blk, data += total) {
+    if (forward) {
+      for (std::size_t r = 0; r < nregs; ++r) {
+        for (std::size_t t = 0; t < lanes; ++t) {
+          tmp[r * lanes + t] = data[t * nregs + r];
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < nregs; ++r) {
+        for (std::size_t t = 0; t < lanes; ++t) {
+          tmp[t * nregs + r] = data[r * lanes + t];
+        }
+      }
+    }
+    for (std::size_t k = 0; k < total; ++k) {
+      data[k] = tmp[k];
+    }
+  }
+}
+
+}  // namespace inplace::kernels

@@ -1,0 +1,119 @@
+// AVX2 in-register tile transposes: 8x8 f32-width and 4x4..8x4 f64-width
+// register tiles, ladders generated from the static_transpose schedules
+// (see tile_ladder.hpp).  Compiled with -mavx2 via per-TU flags
+// (src/CMakeLists.txt); without them this TU is the nullptr stub and
+// resolve_tier never hands the tile slots out.
+//
+// Instruction mapping: the rotation ladders are vpblendd chains
+// (_mm256_blend_epi32 — immediate mask, 1-cycle, port-parallel), the row
+// shuffles are vpermd (_mm256_permutevar8x32_epi32) for 4-byte lanes and
+// vpermq (_mm256_permute4x64_epi64, immediate control) for 8-byte lanes.
+// 8 registers in flight plus the blend temporaries fill the 16-entry ymm
+// file, which caps max_regs at 8 for both widths.
+
+#include "cpu/kernels/tile_inreg.hpp"
+
+#if defined(INPLACE_KERNEL_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+#include "cpu/kernels/tile_ladder.hpp"
+
+namespace inplace::kernels {
+namespace {
+
+using detail_tile::packed_lane;
+
+/// Duplicates each of `n` mask bits into pairs: 64-bit lane masks for
+/// _mm256_blend_epi32's 32-bit-lane immediate.
+constexpr unsigned dup_mask_bits(unsigned mask, unsigned n) {
+  unsigned out = 0;
+  for (unsigned t = 0; t < n; ++t) {
+    if ((mask >> t) & 1u) {
+      out |= 3u << (2u * t);
+    }
+  }
+  return out;
+}
+
+struct avx2_u32_traits {
+  using vec = __m256i;
+  using lane = u32lane;
+  static constexpr unsigned lanes = 8;
+  static constexpr unsigned max_regs = 8;
+
+  static inline vec load(const lane* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static inline void store(lane* p, vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    return _mm256_blend_epi32(a, b, static_cast<int>(Mask));
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    const __m256i idx = _mm256_setr_epi32(
+        static_cast<int>(packed_lane(P, 0)), static_cast<int>(packed_lane(P, 1)),
+        static_cast<int>(packed_lane(P, 2)), static_cast<int>(packed_lane(P, 3)),
+        static_cast<int>(packed_lane(P, 4)), static_cast<int>(packed_lane(P, 5)),
+        static_cast<int>(packed_lane(P, 6)),
+        static_cast<int>(packed_lane(P, 7)));
+    return _mm256_permutevar8x32_epi32(v, idx);
+  }
+};
+
+struct avx2_u64_traits {
+  using vec = __m256i;
+  using lane = u64lane;
+  static constexpr unsigned lanes = 4;
+  static constexpr unsigned max_regs = 8;
+
+  static inline vec load(const lane* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static inline void store(lane* p, vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    // constexpr local: the intrinsic needs an 8-bit immediate, and an
+    // unevaluated constexpr call is not folded at -O0 (Checked builds).
+    constexpr int imm = static_cast<int>(dup_mask_bits(Mask, lanes));
+    return _mm256_blend_epi32(a, b, imm);
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    constexpr int imm =
+        static_cast<int>(packed_lane(P, 0) | packed_lane(P, 1) << 2u |
+                         packed_lane(P, 2) << 4u | packed_lane(P, 3) << 6u);
+    return _mm256_permute4x64_epi64(v, imm);
+  }
+};
+
+}  // namespace
+
+const tile_entry* tile_inreg_avx2() {
+  static const tile_entry e = [] {
+    tile_entry t;
+    t.tile_pass_u32 = &detail_tile::tile_pass_entry<avx2_u32_traits>;
+    t.tile_pass_u64 = &detail_tile::tile_pass_entry<avx2_u64_traits>;
+    t.tile_lanes_u32 = avx2_u32_traits::lanes;
+    t.tile_lanes_u64 = avx2_u64_traits::lanes;
+    t.tile_max_regs_u32 = avx2_u32_traits::max_regs;
+    t.tile_max_regs_u64 = avx2_u64_traits::max_regs;
+    return t;
+  }();
+  return &e;
+}
+
+}  // namespace inplace::kernels
+
+#else  // !INPLACE_KERNEL_COMPILE_AVX2
+
+namespace inplace::kernels {
+const tile_entry* tile_inreg_avx2() { return nullptr; }
+}  // namespace inplace::kernels
+
+#endif

@@ -1,0 +1,114 @@
+// AVX-512 in-register tile transposes: up to 16x16 f32-width and 16x8
+// f64-width register tiles from the static_transpose schedules.  Compiled
+// with -mavx512f/vl/bw/dq per-TU flags (src/CMakeLists.txt); stub
+// otherwise.
+//
+// Instruction mapping: rotation ladder steps are mask blends
+// (_mm512_mask_blend_epi32/epi64 — the constant lane mask rides in a
+// kmask register instead of an immediate), row shuffles are the
+// full-width cross-lane permutes vpermd/vpermq
+// (_mm512_permutexvar_epi32/epi64) with constant index vectors.  The
+// 32-entry zmm file holds 16 registers plus blend temporaries, so
+// max_regs is 16 for both widths.
+
+#include "cpu/kernels/tile_inreg.hpp"
+
+#if defined(INPLACE_KERNEL_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+#include "cpu/kernels/tile_ladder.hpp"
+
+namespace inplace::kernels {
+namespace {
+
+using detail_tile::packed_lane;
+
+struct avx512_u32_traits {
+  using vec = __m512i;
+  using lane = u32lane;
+  static constexpr unsigned lanes = 16;
+  static constexpr unsigned max_regs = 16;
+
+  static inline vec load(const lane* p) { return _mm512_loadu_si512(p); }
+  static inline void store(lane* p, vec v) { _mm512_storeu_si512(p, v); }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    return _mm512_mask_blend_epi32(static_cast<__mmask16>(Mask), a, b);
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    const __m512i idx = _mm512_setr_epi32(
+        static_cast<int>(packed_lane(P, 0)), static_cast<int>(packed_lane(P, 1)),
+        static_cast<int>(packed_lane(P, 2)), static_cast<int>(packed_lane(P, 3)),
+        static_cast<int>(packed_lane(P, 4)), static_cast<int>(packed_lane(P, 5)),
+        static_cast<int>(packed_lane(P, 6)), static_cast<int>(packed_lane(P, 7)),
+        static_cast<int>(packed_lane(P, 8)), static_cast<int>(packed_lane(P, 9)),
+        static_cast<int>(packed_lane(P, 10)),
+        static_cast<int>(packed_lane(P, 11)),
+        static_cast<int>(packed_lane(P, 12)),
+        static_cast<int>(packed_lane(P, 13)),
+        static_cast<int>(packed_lane(P, 14)),
+        static_cast<int>(packed_lane(P, 15)));
+    // maskz form with an all-ones mask: same vpermd, but avoids the
+    // _mm512_undefined_epi32 passthrough GCC warns about when inlined.
+    return _mm512_maskz_permutexvar_epi32(static_cast<__mmask16>(0xFFFF),
+                                          idx, v);
+  }
+};
+
+struct avx512_u64_traits {
+  using vec = __m512i;
+  using lane = u64lane;
+  static constexpr unsigned lanes = 8;
+  static constexpr unsigned max_regs = 16;
+
+  static inline vec load(const lane* p) { return _mm512_loadu_si512(p); }
+  static inline void store(lane* p, vec v) { _mm512_storeu_si512(p, v); }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    return _mm512_mask_blend_epi64(static_cast<__mmask8>(Mask), a, b);
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    const __m512i idx = _mm512_setr_epi64(
+        static_cast<long long>(packed_lane(P, 0)),
+        static_cast<long long>(packed_lane(P, 1)),
+        static_cast<long long>(packed_lane(P, 2)),
+        static_cast<long long>(packed_lane(P, 3)),
+        static_cast<long long>(packed_lane(P, 4)),
+        static_cast<long long>(packed_lane(P, 5)),
+        static_cast<long long>(packed_lane(P, 6)),
+        static_cast<long long>(packed_lane(P, 7)));
+    // maskz form with an all-ones mask: same vpermq, warning-free (see
+    // the epi32 note above).
+    return _mm512_maskz_permutexvar_epi64(static_cast<__mmask8>(0xFF), idx,
+                                          v);
+  }
+};
+
+}  // namespace
+
+const tile_entry* tile_inreg_avx512() {
+  static const tile_entry e = [] {
+    tile_entry t;
+    t.tile_pass_u32 = &detail_tile::tile_pass_entry<avx512_u32_traits>;
+    t.tile_pass_u64 = &detail_tile::tile_pass_entry<avx512_u64_traits>;
+    t.tile_lanes_u32 = avx512_u32_traits::lanes;
+    t.tile_lanes_u64 = avx512_u64_traits::lanes;
+    t.tile_max_regs_u32 = avx512_u32_traits::max_regs;
+    t.tile_max_regs_u64 = avx512_u64_traits::max_regs;
+    return t;
+  }();
+  return &e;
+}
+
+}  // namespace inplace::kernels
+
+#else  // !INPLACE_KERNEL_COMPILE_AVX512
+
+namespace inplace::kernels {
+const tile_entry* tile_inreg_avx512() { return nullptr; }
+}  // namespace inplace::kernels
+
+#endif

@@ -1,0 +1,124 @@
+// NEON in-register tile transposes: up to 16x4 f32-width and 16x2
+// f64-width register tiles from the static_transpose schedules.  NEON is
+// the aarch64 baseline, so the TU needs no extra -m flags — just the
+// INPLACE_KERNEL_COMPILE_NEON definition (src/CMakeLists.txt); on other
+// architectures it is the nullptr stub.
+//
+// Instruction mapping: rotation ladder steps are bitwise selects (vbsl,
+// the NEON form of the trn/zip-style two-source lane merge) against
+// constant lane masks, 4-byte row shuffles are single-register byte
+// tables (vqtbl1q — a q-register holds only 4 f32 lanes, so every
+// shuffle stays within one register), and 2-lane 8-byte shuffles reduce
+// to identity / vext rotation / lane dup.  The 32-entry q-register file
+// holds 16 registers plus select temporaries, so max_regs is 16.
+
+#include "cpu/kernels/tile_inreg.hpp"
+
+#if defined(INPLACE_KERNEL_COMPILE_NEON)
+
+#include <arm_neon.h>
+
+#include "cpu/kernels/tile_ladder.hpp"
+
+namespace inplace::kernels {
+namespace {
+
+using detail_tile::packed_lane;
+
+struct neon_u32_traits {
+  using vec = uint32x4_t;
+  using lane = u32lane;
+  static constexpr unsigned lanes = 4;
+  static constexpr unsigned max_regs = 16;
+
+  static inline vec load(const lane* p) {
+    return vld1q_u32(reinterpret_cast<const std::uint32_t*>(p));
+  }
+  static inline void store(lane* p, vec v) {
+    vst1q_u32(reinterpret_cast<std::uint32_t*>(p), v);
+  }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    const std::uint32_t bits[4] = {
+        (Mask & 1u) ? ~std::uint32_t{0} : 0u,
+        (Mask & 2u) ? ~std::uint32_t{0} : 0u,
+        (Mask & 4u) ? ~std::uint32_t{0} : 0u,
+        (Mask & 8u) ? ~std::uint32_t{0} : 0u,
+    };
+    return vbslq_u32(vld1q_u32(bits), b, a);
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    std::uint8_t idx[16];
+    for (unsigned j = 0; j < 4; ++j) {
+      const unsigned s = packed_lane(P, j);
+      for (unsigned byte = 0; byte < 4; ++byte) {
+        idx[4 * j + byte] = static_cast<std::uint8_t>(4 * s + byte);
+      }
+    }
+    return vreinterpretq_u32_u8(
+        vqtbl1q_u8(vreinterpretq_u8_u32(v), vld1q_u8(idx)));
+  }
+};
+
+struct neon_u64_traits {
+  using vec = uint64x2_t;
+  using lane = u64lane;
+  static constexpr unsigned lanes = 2;
+  static constexpr unsigned max_regs = 16;
+
+  static inline vec load(const lane* p) {
+    return vld1q_u64(reinterpret_cast<const std::uint64_t*>(p));
+  }
+  static inline void store(lane* p, vec v) {
+    vst1q_u64(reinterpret_cast<std::uint64_t*>(p), v);
+  }
+  template <unsigned Mask>
+  static inline vec blend(vec a, vec b) {
+    const std::uint64_t bits[2] = {
+        (Mask & 1u) ? ~std::uint64_t{0} : 0u,
+        (Mask & 2u) ? ~std::uint64_t{0} : 0u,
+    };
+    return vbslq_u64(vld1q_u64(bits), b, a);
+  }
+  template <std::uint64_t P>
+  static inline vec permute(vec v) {
+    constexpr unsigned lo = packed_lane(P, 0);
+    constexpr unsigned hi = packed_lane(P, 1);
+    if constexpr (lo == 0 && hi == 1) {
+      return v;
+    } else if constexpr (lo == 1 && hi == 0) {
+      return vextq_u64(v, v, 1);
+    } else if constexpr (lo == 0 && hi == 0) {
+      return vdupq_laneq_u64(v, 0);
+    } else {
+      return vdupq_laneq_u64(v, 1);
+    }
+  }
+};
+
+}  // namespace
+
+const tile_entry* tile_inreg_neon() {
+  static const tile_entry e = [] {
+    tile_entry t;
+    t.tile_pass_u32 = &detail_tile::tile_pass_entry<neon_u32_traits>;
+    t.tile_pass_u64 = &detail_tile::tile_pass_entry<neon_u64_traits>;
+    t.tile_lanes_u32 = neon_u32_traits::lanes;
+    t.tile_lanes_u64 = neon_u64_traits::lanes;
+    t.tile_max_regs_u32 = neon_u32_traits::max_regs;
+    t.tile_max_regs_u64 = neon_u64_traits::max_regs;
+    return t;
+  }();
+  return &e;
+}
+
+}  // namespace inplace::kernels
+
+#else  // !INPLACE_KERNEL_COMPILE_NEON
+
+namespace inplace::kernels {
+const tile_entry* tile_inreg_neon() { return nullptr; }
+}  // namespace inplace::kernels
+
+#endif

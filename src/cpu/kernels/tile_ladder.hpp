@@ -1,0 +1,219 @@
+#pragma once
+// The generator that turns src/simd/static_transpose.hpp's compile-time
+// shuffle schedules into real SIMD instruction sequences.  Everything the
+// warp simulator proves about the M x W register transpose is consumed
+// here as constexpr tables:
+//
+//   - the two per-lane rotations (Eq. 23 prerotate, Eq. 32 p) become
+//     <= ceil(log2 M) blend steps — step k selects, per lane, between a
+//     register and the register 2^k below it, with the constant blend
+//     mask read off bit k of the lane's rotation amount.  The masks
+//     compose additively mod M, so the chain realizes reg[(r+amt) % M]
+//     exactly as detail_static::rotate_lanes does (and as the simulator
+//     counts);
+//   - the row shuffles (Eq. 31 shuffle_src / Eq. 24 shuffle_src_inv)
+//     become one constant in-register lane permute per register;
+//   - the register renames (Eq. 33 q / its inverse) are folded into the
+//     load order (r2c) or the store order (c2r) and cost nothing.
+//
+// A Traits type supplies the ISA: its vector type, lane count, unaligned
+// load/store, a constant-mask blend and a constant-vector lane permute.
+// Masks are passed as unsigned NTTPs (bit t = lane t takes the rotated
+// source) and permutes as packed-nibble u64 NTTPs (4 bits per lane), so
+// ISAs whose instructions demand immediates (_mm256_blend_epi32,
+// _mm256_permute4x64_epi64) receive genuine compile-time constants.
+//
+// Everything is fully unrolled through index_sequence pack expansion over
+// local `vec regs[M]` arrays; M is bounded by Traits::max_regs, chosen so
+// regs + the blend temporaries fit the architectural register file.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "cpu/kernels/tile_inreg.hpp"
+#include "simd/static_transpose.hpp"
+
+namespace inplace::kernels::detail_tile {
+
+/// Lane j's source index from a packed-nibble permute constant.
+constexpr unsigned packed_lane(std::uint64_t p, unsigned j) {
+  return static_cast<unsigned>(p >> (4u * j)) & 0xFu;
+}
+
+template <typename Traits, unsigned M>
+struct tile_ladder {
+  using vec = typename Traits::vec;
+  using lane = typename Traits::lane;
+  static constexpr unsigned W = Traits::lanes;
+  using math = simd::static_tile_math<M, W>;
+  static_assert(M >= 2 && M <= Traits::max_regs);
+  static_assert(W <= 16, "packed-nibble permute constants hold 16 lanes");
+
+  static constexpr unsigned ceil_log2(unsigned x) {
+    unsigned k = 0;
+    while ((1u << k) < x) {
+      ++k;
+    }
+    return k;
+  }
+  static constexpr unsigned steps = ceil_log2(M);
+
+  enum class table_id : std::uint8_t { prerotate, p_rot };
+
+  /// The per-lane rotation amount rotate_lanes would apply.
+  static constexpr unsigned lane_amt(table_id id, unsigned t, bool invert) {
+    const unsigned raw = (id == table_id::prerotate)
+                             ? unsigned{math::prerotate[t]}
+                             : unsigned{math::p_rot[t]};
+    unsigned amt = raw % M;
+    if (invert && amt != 0) {
+      amt = M - amt;
+    }
+    return amt;
+  }
+
+  /// Blend mask for ladder step k: bit t set selects the rotated source
+  /// for lane t.  Depends only on the lane, never the register, so one
+  /// constant serves the whole step.
+  static constexpr unsigned step_mask(table_id id, bool invert, unsigned k) {
+    unsigned mask = 0;
+    for (unsigned t = 0; t < W; ++t) {
+      if ((lane_amt(id, t, invert) >> k) & 1u) {
+        mask |= 1u << t;
+      }
+    }
+    return mask;
+  }
+
+  template <table_id Id, bool Invert, unsigned K, std::size_t... R>
+  static inline void ladder_step(vec (&regs)[M], std::index_sequence<R...>) {
+    constexpr unsigned mask = step_mask(Id, Invert, K);
+    if constexpr (mask != 0) {
+      constexpr unsigned shift = 1u << K;
+      vec rot[M] = {regs[(R + shift) % M]...};
+      ((regs[R] = Traits::template blend<mask>(regs[R], rot[R])), ...);
+    }
+  }
+
+  template <table_id Id, bool Invert, std::size_t... K>
+  static inline void ladder_impl(vec (&regs)[M], std::index_sequence<K...>) {
+    (ladder_step<Id, Invert, static_cast<unsigned>(K)>(
+         regs, std::make_index_sequence<M>{}),
+     ...);
+  }
+
+  /// reg[r] <- reg[(r + amt(lane)) % M] per lane, as the blend chain.
+  template <table_id Id, bool Invert>
+  static inline void ladder(vec (&regs)[M]) {
+    ladder_impl<Id, Invert>(regs, std::make_index_sequence<steps>{});
+  }
+
+  /// Row shuffle for register r as a packed-nibble permute constant.
+  static constexpr std::uint64_t pack_row(bool inv, unsigned r) {
+    std::uint64_t p = 0;
+    for (unsigned j = 0; j < W; ++j) {
+      const unsigned s = inv ? unsigned{math::shuffle_src_inv[r][j]}
+                             : unsigned{math::shuffle_src[r][j]};
+      p |= static_cast<std::uint64_t>(s) << (4u * j);
+    }
+    return p;
+  }
+  static constexpr std::uint64_t identity_row = [] {
+    std::uint64_t p = 0;
+    for (unsigned j = 0; j < W; ++j) {
+      p |= static_cast<std::uint64_t>(j) << (4u * j);
+    }
+    return p;
+  }();
+
+  template <std::uint64_t P>
+  static inline vec permute_one(vec v) {
+    if constexpr (P == identity_row) {
+      return v;
+    } else {
+      return Traits::template permute<P>(v);
+    }
+  }
+
+  template <bool Inv, std::size_t... R>
+  static inline void permute_rows(vec (&regs)[M], std::index_sequence<R...>) {
+    ((regs[R] = permute_one<pack_row(Inv, static_cast<unsigned>(R))>(regs[R])),
+     ...);
+  }
+
+  /// static_r2c on one block: q_inv-ordered loads (rename for free),
+  /// inverted p ladder, d' row permutes, inverted prerotate ladder,
+  /// contiguous stores.
+  template <std::size_t... R>
+  static inline void run_forward(lane* data, std::index_sequence<R...> seq) {
+    vec regs[M] = {
+        Traits::load(data + std::size_t{math::q_inv_perm[R]} * W)...};
+    ladder<table_id::p_rot, true>(regs);
+    permute_rows<true>(regs, seq);
+    if constexpr (math::c > 1) {
+      ladder<table_id::prerotate, true>(regs);
+    }
+    (Traits::store(data + R * W, regs[R]), ...);
+  }
+
+  /// static_c2r on one block: contiguous loads, prerotate ladder, row
+  /// shuffle permutes, p ladder, q-ordered stores (rename for free).
+  template <std::size_t... R>
+  static inline void run_inverse(lane* data, std::index_sequence<R...> seq) {
+    vec regs[M] = {Traits::load(data + R * W)...};
+    if constexpr (math::c > 1) {
+      ladder<table_id::prerotate, false>(regs);
+    }
+    permute_rows<false>(regs, seq);
+    ladder<table_id::p_rot, false>(regs);
+    (Traits::store(data + R * W, regs[std::size_t{math::q_perm[R]}]), ...);
+  }
+};
+
+/// The per-M loop body: nblocks contiguous blocks of M registers each,
+/// all state in registers between the loads and the stores.
+template <typename Traits, unsigned M>
+void tile_block_pass(typename Traits::lane* data, std::size_t nblocks,
+                     bool forward) {
+  using ladder = tile_ladder<Traits, M>;
+  constexpr std::size_t stride = std::size_t{M} * Traits::lanes;
+  if (forward) {
+    for (std::size_t blk = 0; blk < nblocks; ++blk, data += stride) {
+      ladder::run_forward(data, std::make_index_sequence<M>{});
+    }
+  } else {
+    for (std::size_t blk = 0; blk < nblocks; ++blk, data += stride) {
+      ladder::run_inverse(data, std::make_index_sequence<M>{});
+    }
+  }
+}
+
+/// Plain aggregate for the per-M dispatch table (a std::array template
+/// argument would strip the lane type's may_alias attribute and GCC
+/// warns; a C array member does not name the type as a template
+/// argument).
+template <typename Traits>
+struct tile_table {
+  using fn = void (*)(typename Traits::lane*, std::size_t, bool);
+  fn entries[Traits::max_regs - 1];
+};
+
+template <typename Traits, std::size_t... Ms>
+constexpr tile_table<Traits> make_tile_table(std::index_sequence<Ms...>) {
+  return {{&tile_block_pass<Traits, static_cast<unsigned>(Ms) + 2>...}};
+}
+
+/// The kernel_set-shaped entry point: dispatches on nregs to the
+/// fully-unrolled instantiation.  Precondition (enforced by plan-time
+/// gating): 2 <= nregs <= Traits::max_regs.
+template <typename Traits>
+void tile_pass_entry(typename Traits::lane* data, std::size_t nregs,
+                     std::size_t nblocks, bool forward) {
+  static constexpr tile_table<Traits> table = make_tile_table<Traits>(
+      std::make_index_sequence<Traits::max_regs - 1>{});
+  table.entries[nregs - 2](data, nblocks, forward);
+}
+
+}  // namespace inplace::kernels::detail_tile

@@ -46,18 +46,37 @@ template <typename T>
   return stream && n * sizeof(T) >= kernels::stream_min_copy_bytes;
 }
 
+/// No-op row-block transform: the default hook for the fused passes
+/// below.  The in-register tile tier substitutes a real transform
+/// (core/execute.hpp's tile runner) that rewrites whole rows in place.
+struct no_block_transform {
+  template <typename T>
+  void operator()(T* /*rows*/, std::uint64_t /*nrows*/) const noexcept {}
+};
+
 /// C2R pass 1 — fused pre-rotation (gather, Eq. 23) + row shuffle
 /// (scatter, Eq. 24): tmp[d'_i(j)] <- A[(i + ⌊j/b⌋) mod m][j].  Sources
 /// sit at or below the sweep row except for wrapped reads, which the head
 /// buffer (original rows [0, c-1)) serves.  Inverse of
 /// skinny_fused_gather.
-template <typename T, typename Math>
+///
+/// `block(rows, k)` is an optional in-place transform of k contiguous
+/// rows, applied to every row exactly once *before* the pass consumes it
+/// — i.e. the pass computes (scatter ∘ block) with no extra sweep.  The
+/// gather window at row i reads rows [i, i+c), so the prologue
+/// transforms rows [0, c) (before the head copies, which must capture
+/// transformed rows) and each later iteration transforms the row sliding
+/// into the window.  The tile tier fuses its per-slab register transpose
+/// here; the default is a no-op.
+template <typename T, typename Math, typename BlockFn = no_block_transform>
 void skinny_fused_scatter(T* a, const Math& mm, workspace<T>& ws,
-                          const kernels::kernel_set* ks, bool stream) {
+                          const kernels::kernel_set* ks, bool stream,
+                          BlockFn block = BlockFn{}) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   T* tmp = ws.line.data();
   T* head = ws.head.data();
+  block(a, mm.c);  // c = gcd(m, n) <= m
   const std::uint64_t head_rows = mm.needs_prerotate() ? mm.c - 1 : 0;
   for (std::uint64_t r = 0; r < head_rows; ++r) {
     std::copy(a + r * n, a + (r + 1) * n, head + r * n);
@@ -67,6 +86,9 @@ void skinny_fused_scatter(T* a, const Math& mm, workspace<T>& ws,
     // slides down by one, so prefetch the row entering it.
     if (i + mm.c < m) {
       kernels::prefetch_read(a + (i + mm.c) * n);
+    }
+    if (i > 0 && i + mm.c - 1 < m) {
+      block(a + (i + mm.c - 1) * n, 1);
     }
     d_prime_stepper step(mm, i);
     for (std::uint64_t j = 0; j < n; ++j, step.advance()) {
@@ -147,9 +169,17 @@ void skinny_permute_q_inv(T* a, const Math& mm, workspace<T>& ws,
 /// (i - ⌊j/b⌋) mod m, col d'_s(j).  Sweeping bottom-up keeps unwrapped
 /// sources unwritten; the wrapped reads (into the top rows written
 /// first) come from a saved tail.  Inverse of skinny_fused_scatter.
-template <typename T, typename Math>
+///
+/// `block(row, 1)` is the mirror of skinny_fused_scatter's hook, applied
+/// to each assembled scratch row just before its copy-back — the pass
+/// computes (block ∘ gather) with no extra sweep.  Every source the
+/// gather reads (in-matrix or saved tail) is a pre-transform value, so
+/// fusing the transform after the gather keeps the two passes exact
+/// inverses when the hooks are inverses.
+template <typename T, typename Math, typename BlockFn = no_block_transform>
 void skinny_fused_gather(T* a, const Math& mm, workspace<T>& ws,
-                         const kernels::kernel_set* ks, bool stream) {
+                         const kernels::kernel_set* ks, bool stream,
+                         BlockFn block = BlockFn{}) {
   const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   T* tmp = ws.line.data();
@@ -187,6 +217,7 @@ void skinny_fused_gather(T* a, const Math& mm, workspace<T>& ws,
         ++off;
       }
     }
+    block(tmp, 1);
     copy_back(a + ii * n, tmp, n, ks, stream);
   }
 }
@@ -195,13 +226,17 @@ void skinny_fused_gather(T* a, const Math& mm, workspace<T>& ws,
 /// (m > n); equivalently, AoS -> SoA conversion for m structures of n
 /// fields each.  An optional cycle_memo caches the q-permutation's cycle
 /// leaders across executions of the same plan; an optional
-/// stage_progress records completed passes for rollback.
-template <typename T, typename Math>
+/// stage_progress records completed passes for rollback.  `block` is the
+/// optional pre-consumption row-block transform fused into pass 1 (see
+/// skinny_fused_scatter); the tile tier passes its per-slab register
+/// transpose, everything else the default no-op.
+template <typename T, typename Math, typename BlockFn = no_block_transform>
 void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
                 cycle_memo* memo = nullptr,
                 const kernels::kernel_set* ks = nullptr,
-                bool stream = false, stage_progress* prog = nullptr) {
-  const std::uint64_t m = mm.m;
+                bool stream = false, stage_progress* prog = nullptr,
+                BlockFn block = BlockFn{}) {
+  [[maybe_unused]] const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   stream = skinny_stream_ok<T>(n, stream);
 
@@ -209,7 +244,7 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
     begin_stage(prog, stage_id::skinny_fused_row);
-    skinny_fused_scatter(a, mm, ws, ks, stream);
+    skinny_fused_scatter(a, mm, ws, ks, stream, block);
     end_stage(prog);
   }
   INPLACE_FAILPOINT("skinny.c2r.after_fused_row");
@@ -231,13 +266,16 @@ void c2r_skinny(T* a, const Math& mm, workspace<T>& ws,
 }
 
 /// Skinny R2C: the inverse of c2r_skinny on the same m x n view
-/// (SoA -> AoS conversion).
-template <typename T, typename Math>
+/// (SoA -> AoS conversion).  `block` is the post-assembly row transform
+/// fused into pass 3 (see skinny_fused_gather); r2c_skinny with the
+/// inverse hook is the exact inverse of c2r_skinny with the forward one.
+template <typename T, typename Math, typename BlockFn = no_block_transform>
 void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
                 cycle_memo* memo = nullptr,
                 const kernels::kernel_set* ks = nullptr,
-                bool stream = false, stage_progress* prog = nullptr) {
-  const std::uint64_t m = mm.m;
+                bool stream = false, stage_progress* prog = nullptr,
+                BlockFn block = BlockFn{}) {
+  [[maybe_unused]] const std::uint64_t m = mm.m;
   const std::uint64_t n = mm.n;
   stream = skinny_stream_ok<T>(n, stream);
 
@@ -260,7 +298,7 @@ void r2c_skinny(T* a, const Math& mm, workspace<T>& ws,
     INPLACE_TELEMETRY_SPAN(span_row, telemetry::stage::row_shuffle,
                            2 * m * n * sizeof(T), 0);
     begin_stage(prog, stage_id::skinny_fused_row);
-    skinny_fused_gather(a, mm, ws, ks, stream);
+    skinny_fused_gather(a, mm, ws, ks, stream, block);
     end_stage(prog);
   }
   INPLACE_FAILPOINT("skinny.r2c.after_fused_row");

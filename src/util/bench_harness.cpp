@@ -217,6 +217,7 @@ void bench_report::attach_telemetry(const telemetry::collector& coll,
     p.set("threads_active", static_cast<double>(pc.rec.threads_active));
     p.set("threads_honored", pc.rec.threads_honored);
     p.set("from_cache", pc.rec.from_cache);
+    p.set("calibration", pc.rec.calibration);
     p.set("count", static_cast<double>(pc.count));
     plans.push_back(std::move(p));
   }

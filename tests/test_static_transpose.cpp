@@ -9,7 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "cpu/kernels/kernel_set.hpp"
+#include "cpu/kernels/tile_inreg.hpp"
 #include "simd/register_transpose.hpp"
 #include "util/matrix.hpp"
 
@@ -90,6 +94,105 @@ TEST(StaticTranspose, IndexTablesAreCompileTimeConstants) {
   static_assert(math2::c == 8);
   static_assert(math2::prerotate[31] == 7);  // ⌊31/4⌋
   SUCCEED();
+}
+
+// --- ladder pins: the runtime SIMD tiles ARE the static schedules -----------
+//
+// The tile_inreg_* kernels are generated from the same shuffle_src /
+// shuffle_src_inv schedules that drive static_r2c / static_c2r; these
+// pins assert the generated vpunpck/vpermd (and portable) ladders match
+// the compile-time transposes lane-for-lane, for every register count a
+// tier implements, at both element widths.
+
+template <typename T, unsigned M, unsigned W>
+void check_ladder_pin(const kernels::kernel_set& ks, const char* name) {
+  // Expected flat images from the compile-time schedules.
+  simd::static_tile<T, M, W> fwd{};
+  simd::static_tile<T, M, W> inv{};
+  for (unsigned r = 0; r < M; ++r) {
+    for (unsigned t = 0; t < W; ++t) {
+      fwd[r][t] = static_cast<T>(r * W + t + 1);
+      inv[r][t] = static_cast<T>(r * W + t + 1);
+    }
+  }
+  simd::static_r2c<T, M, W>(fwd);
+  simd::static_c2r<T, M, W>(inv);
+
+  const auto check = [&](bool forward, bool portable) {
+    const simd::static_tile<T, M, W>& want = forward ? fwd : inv;
+    // Two blocks, to pin the per-block stride as well as the shuffle.
+    std::vector<T> data(2 * M * W);
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      data[k] = static_cast<T>(k % (M * W) + 1);
+    }
+    if (portable) {
+      kernels::tile_pass_portable(data.data(), M, W, 2, forward);
+    } else {
+      kernels::tile_pass<T>(ks, data.data(), M, 2, forward);
+    }
+    for (unsigned blk = 0; blk < 2; ++blk) {
+      for (unsigned r = 0; r < M; ++r) {
+        for (unsigned t = 0; t < W; ++t) {
+          ASSERT_EQ(data[blk * M * W + r * W + t], want[r][t])
+              << (portable ? "portable" : name) << " "
+              << (forward ? "forward" : "inverse") << " M=" << M
+              << " W=" << W << " elem=" << sizeof(T) << " block=" << blk
+              << " reg=" << r << " lane=" << t;
+        }
+      }
+    }
+  };
+  check(true, false);
+  check(false, false);
+  check(true, true);
+  check(false, true);
+}
+
+template <typename T, unsigned W, unsigned... Ms>
+void ladder_pins_for(const kernels::kernel_set& ks, const char* name,
+                     std::integer_sequence<unsigned, Ms...>) {
+  const unsigned max_regs = kernels::tile_max_regs<T>(ks);
+  // M = 2..16, clipped to what the tier's register file holds.
+  ((Ms + 2 <= max_regs ? check_ladder_pin<T, Ms + 2, W>(ks, name) : void()),
+   ...);
+}
+
+template <typename T>
+void ladder_pins_all_tiers() {
+  bool any = false;
+  for (const kernels::tier t :
+       {kernels::tier::avx2, kernels::tier::avx512, kernels::tier::neon}) {
+    if (!kernels::tier_available(t)) {
+      continue;
+    }
+    const kernels::kernel_set& ks = kernels::set_for(t);
+    const unsigned lanes = kernels::tile_lanes<T>(ks);
+    if (lanes < 2) {
+      continue;
+    }
+    any = true;
+    const char* name = kernels::tier_name(t);
+    const auto ms = std::make_integer_sequence<unsigned, 15>{};
+    switch (lanes) {
+      case 2: ladder_pins_for<T, 2>(ks, name, ms); break;
+      case 4: ladder_pins_for<T, 4>(ks, name, ms); break;
+      case 8: ladder_pins_for<T, 8>(ks, name, ms); break;
+      case 16: ladder_pins_for<T, 16>(ks, name, ms); break;
+      default:
+        FAIL() << name << " reports unexpected tile lane width " << lanes;
+    }
+  }
+  if (!any) {
+    GTEST_SKIP() << "no SIMD tier with an in-register tile on this host";
+  }
+}
+
+TEST(StaticTranspose, LadderPinsMatchSchedulesU32) {
+  ladder_pins_all_tiers<std::uint32_t>();
+}
+
+TEST(StaticTranspose, LadderPinsMatchSchedulesU64) {
+  ladder_pins_all_tiers<std::uint64_t>();
 }
 
 TEST(StaticTranspose, ConstexprEvaluation) {

@@ -305,6 +305,96 @@ TEST(KernelTierSweep, EnvOverrideSteersPlanning) {
     transposer<std::uint32_t> tr(m, n, storage_order::row_major, opts);
     EXPECT_EQ(tr.plan().ktier, tier::scalar) << "unknown values are ignored";
   }
+  {
+    // Bare "inreg": native tier plus the forced in-register tile path.
+    // 96x8 f32 is tile-eligible on every SIMD tier (96 = 8*12 = 16*6,
+    // n = 8 <= max_regs); on a scalar-only host no tier implements the
+    // tile and the plan must quietly stay un-tiled.
+    const env_guard guard("INPLACE_FORCE_KERNEL_TIER", "inreg");
+    options opts;
+    opts.kernel = tier::scalar;  // env overrides explicit requests
+    transposer<std::uint32_t> tr(96, 8, storage_order::row_major, opts);
+    EXPECT_EQ(tr.plan().ktier, kernels::native_tier());
+    const auto& ks = kernels::set_for(tr.plan().ktier);
+    if (kernels::tile_lanes<std::uint32_t>(ks) >= 2) {
+      EXPECT_EQ(tr.plan().tile_block, kernels::tile_lanes<std::uint32_t>(ks));
+    } else {
+      EXPECT_EQ(tr.plan().tile_block, 0u);
+    }
+  }
+}
+
+// --- forced in-register tile sweep (cpu/kernels/tile_inreg_*) ---------------
+
+/// Mirror of plan.cpp's tile-eligibility gate with the profitability
+/// condition dropped (exactly what a forced "<tier>-inreg" plan uses):
+/// skinny engine resolution, 4/8-byte elements, a tier that implements
+/// the tile at this width, lane-divisible m, and n within one register
+/// file.  Keeping the predicate in sync with the planner is the point —
+/// the sweep asserts engagement *exactly* where the gate says.
+template <typename T>
+bool tile_gate_forced(tier t, std::size_t m, std::size_t n) {
+  if (sizeof(T) != 4 && sizeof(T) != 8) {
+    return false;
+  }
+  if (n > skinny_col_limit || m <= n) {
+    return false;  // automatic engine resolution picks blocked
+  }
+  const kernels::kernel_set& ks = kernels::set_for(t);
+  const std::size_t lanes = kernels::tile_lanes<T>(ks);
+  const std::size_t max_regs = kernels::tile_max_regs<T>(ks);
+  return lanes >= 2 && n >= 2 && n <= max_regs && m % lanes == 0;
+}
+
+/// Transposes every m x n with m, n <= 64 under INPLACE_FORCE_KERNEL_TIER
+/// = "<tier>-inreg" for every available tier: the plan must engage the
+/// in-register tile exactly on the mirrored gate predicate, and every
+/// shape — tiled or not — must stay bit-exact against the out-of-place
+/// reference in both planning directions.
+template <typename T>
+void forced_inreg_sweep() {
+  for (const tier t : available_tiers()) {
+    const std::string forced = std::string(kernels::tier_name(t)) + "-inreg";
+    const env_guard guard("INPLACE_FORCE_KERNEL_TIER", forced.c_str());
+    for (const options::algorithm alg :
+         {options::algorithm::c2r, options::algorithm::r2c}) {
+      options opts;
+      opts.alg = alg;
+      for (std::size_t m = 1; m <= 64; ++m) {
+        for (std::size_t n = 1; n <= 64; ++n) {
+          std::vector<T> a(m * n);
+          fill_unique(a);
+          const std::vector<T> want =
+              util::reference_transpose(std::span<const T>(a), m, n);
+          transposer<T> tr(m, n, storage_order::row_major, opts);
+          ASSERT_EQ(tr.plan().ktier, t)
+              << forced << " did not pin the tier for " << m << "x" << n;
+          // R2C plans the dual problem with swapped extents (Theorem 2);
+          // the gate sees the directed shape, so mirror it on that.
+          const bool c2r = alg == options::algorithm::c2r;
+          const bool want_tile =
+              tile_gate_forced<T>(t, c2r ? m : n, c2r ? n : m);
+          ASSERT_EQ(tr.plan().tile_block != 0, want_tile)
+              << forced << " tile engagement mismatch at " << m << "x" << n
+              << " elem=" << sizeof(T);
+          tr(a.data());
+          ASSERT_EQ(-1, util::first_mismatch(std::span<const T>(a),
+                                             std::span<const T>(want)))
+              << forced << " "
+              << (alg == options::algorithm::c2r ? "c2r" : "r2c") << " "
+              << m << "x" << n << " elem=" << sizeof(T)
+              << (want_tile ? " (tiled)" : " (untiled)");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTierSweep, ForcedInRegisterWidth4) {
+  forced_inreg_sweep<std::uint32_t>();
+}
+TEST(KernelTierSweep, ForcedInRegisterWidth8) {
+  forced_inreg_sweep<std::uint64_t>();
 }
 
 }  // namespace

@@ -58,6 +58,15 @@ run_matrix_entry() {
      ctest --output-on-failure -j "$jobs" \
            -R 'Transpose|Skinny|Integration|Executor|Primitives|PermuteNd|Tensor')
 
+  # Mirror pass with the in-register tile tier forced: every eligible
+  # skinny plan routes through the vpunpck/vpermd ladders and their fused
+  # scatter/gather hooks, so the sanitizers sweep the tile runner's
+  # lane_chunk reinterpretation, rollback path and NT-store fencing too.
+  echo "=== [$name] ctest engines, INPLACE_FORCE_KERNEL_TIER=inreg"
+  (cd "$build_dir" && INPLACE_FORCE_KERNEL_TIER=inreg \
+     ctest --output-on-failure -j "$jobs" \
+           -R 'Transpose|Skinny|Integration|Executor|Primitives|PermuteNd|Tensor')
+
   # Third pass — failure semantics under injection: the whole process runs
   # with the OOM ladder env-forced off its first rung while the suite's own
   # stage faults fire on top.  Under the sanitizers this proves a failing

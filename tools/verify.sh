@@ -113,6 +113,18 @@ if [[ $bench -eq 1 ]]; then
   "$repo_root/build/tools/bench_gate" \
       "$repo_root/bench/baselines/BENCH_gpu_model_predictions.json" \
       "$bench_tmp/BENCH_gpu_model_predictions.json"
+  echo "=== bench gate: micro-kernel primitives vs committed baseline"
+  # Short repetitions give every series a real MAD (one-sample series
+  # would gate on a zero noise band); the wide threshold reflects how
+  # much nanosecond-scale primitive timings swing across host load —
+  # this stanza catches order-of-magnitude cliffs (a ladder falling back
+  # to scalar), not percent-level drift.
+  "$repo_root/build/bench/micro_kernels" \
+      --benchmark_min_time=0.02 --benchmark_repetitions=5 \
+      --json "$bench_tmp/BENCH_micro_kernels.json" >/dev/null
+  "$repo_root/build/tools/bench_gate" \
+      "$repo_root/bench/baselines/BENCH_micro_kernels.json" \
+      "$bench_tmp/BENCH_micro_kernels.json" --threshold 0.5 --mad-k 8
   echo "=== bench gate: plan-cache ablation steady-state check"
   # Self-gating: exits nonzero if the warm loop performed any plan misses
   # or arena allocations (a plan-cache regression), regardless of timing.
